@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's figures/tables: it runs
+the workload, renders the measured rows next to the paper's claim via
+:func:`repro.analysis.render_table`, writes them to
+``benchmarks/results/<experiment>.txt`` (the artifact EXPERIMENTS.md is
+assembled from), and asserts the claim's *shape*.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """``report(experiment_id, text)`` — persist one experiment's rows."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(experiment_id, text):
+        path = RESULTS_DIR / ("%s.txt" % experiment_id)
+        path.write_text(text + "\n")
+        return path
+
+    return write

@@ -1,0 +1,91 @@
+"""E19 (extension) — ablations of the design choices DESIGN.md calls out.
+
+Three knobs, each isolating one mechanism:
+
+* Paxos restart jitter: how much randomness does liveness actually
+  need?  (Sweep the backoff jitter from 0 — the livelock — upward.)
+* PBFT checkpoint interval: garbage-collection frequency vs retained
+  log size and checkpoint traffic.
+* PoW block interval vs propagation delay: the fork-rate curve that
+  dictates why Bitcoin's interval is minutes, not seconds.
+"""
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.net import SynchronousModel, UniformDelayModel
+from repro.protocols.paxos import RandomizedBackoff, run_basic_paxos
+from repro.protocols.pbft import run_pbft
+from repro.blockchain import run_mining_network
+
+
+def jitter_row(jitter, seeds=8):
+    decided = 0
+    total_time = 0.0
+    for seed in range(seeds):
+        cluster = Cluster(seed=seed, delivery=SynchronousModel(1.0))
+        result = run_basic_paxos(
+            cluster, proposals=("X", "Y"),
+            retry=RandomizedBackoff(2.0, jitter), stagger=1.0, horizon=300.0,
+        )
+        if result.agreed:
+            decided += 1
+            total_time += result.decided_at
+    return {
+        "backoff jitter": jitter,
+        "decided": "%d/%d" % (decided, seeds),
+        "mean time": (total_time / decided) if decided else None,
+    }
+
+
+def checkpoint_row(interval):
+    cluster = Cluster(seed=6)
+    result = run_pbft(cluster, f=1, n_clients=1, operations_per_client=24,
+                      checkpoint_interval=interval)
+    slots = max(len(replica.slots) for replica in result.replicas)
+    checkpoints = cluster.metrics.by_type["checkpoint"]
+    return {
+        "checkpoint interval": interval,
+        "checkpoint msgs": checkpoints,
+        "max retained slots": slots,
+        "done": all(c.done for c in result.clients),
+    }
+
+
+def fork_row(tbt):
+    cluster = Cluster(seed=7, delivery=UniformDelayModel(0.5, 2.0))
+    result = run_mining_network(cluster, hashrates=(100.0,) * 4,
+                                target_block_time=tbt, duration=2000.0)
+    _main, _abandoned, rate = result.fork_stats()
+    return {
+        "block interval": tbt,
+        "interval / propagation": round(tbt / 1.25, 1),
+        "fork rate": rate,
+    }
+
+
+def test_ablations(benchmark, report):
+    def run_all():
+        return ([jitter_row(j) for j in (0.0, 1.0, 4.0, 10.0)],
+                [checkpoint_row(i) for i in (4, 8, 64)],
+                [fork_row(t) for t in (2.5, 10.0, 40.0)])
+
+    jitter, checkpoints, forks = benchmark.pedantic(run_all, rounds=1,
+                                                    iterations=1)
+    text = render_table(jitter, title="E19a — Paxos backoff jitter sweep")
+    text += "\n\n" + render_table(checkpoints,
+                                  title="E19b — PBFT checkpoint interval")
+    text += "\n\n" + render_table(forks,
+                                  title="E19c — PoW interval vs fork rate")
+    report("E19_ablations", text)
+
+    # Zero jitter = the livelock; any meaningful jitter restores liveness.
+    assert jitter[0]["decided"] == "0/8"
+    assert jitter[-1]["decided"] == "8/8"
+    # Frequent checkpoints keep the retained log small but cost traffic.
+    assert checkpoints[0]["max retained slots"] <= \
+        checkpoints[-1]["max retained slots"]
+    assert checkpoints[0]["checkpoint msgs"] > checkpoints[-1]["checkpoint msgs"]
+    assert all(row["done"] for row in checkpoints)
+    # Fork rate decreases monotonically with the interval.
+    assert forks[0]["fork rate"] > forks[1]["fork rate"] > \
+        forks[2]["fork rate"]

@@ -1,0 +1,57 @@
+"""E7 — 2PC blocking vs 3PC termination.
+
+Regenerates the abstract-2PC/3PC figures: the happy-path phase costs
+and, for every coordinator-crash window, who ends up blocked and what
+the termination protocol decides.
+"""
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.protocols.commit import TxState, run_commit
+
+
+def scenario(protocol, crash_after, partial_count=0):
+    cluster = Cluster(seed=1)
+    result = run_commit(cluster, protocol=protocol, n_cohorts=3,
+                        crash_after=crash_after, partial_count=partial_count)
+    states = sorted({state.value for state in result.outcomes()})
+    return {
+        "protocol": protocol,
+        "coordinator crash": crash_after or "none",
+        "cohort states": "/".join(states),
+        "blocked cohorts": len(result.blocked_cohorts()),
+        "atomic": result.atomic(),
+        "messages": result.messages,
+    }
+
+
+def test_commit_protocols(benchmark, report):
+    def run_all():
+        return [
+            scenario("2pc", None),
+            scenario("3pc", None),
+            scenario("2pc", "votes"),
+            scenario("3pc", "votes"),
+            scenario("3pc", "precommits"),
+            scenario("2pc", "partial_decision", partial_count=1),
+        ]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = render_table(rows, title="E7 — 2PC blocking vs 3PC termination")
+    report("E7_commit", text)
+
+    happy_2pc, happy_3pc, blocked_2pc, term_3pc, term_3pc_pc, partial = rows
+    # Happy path: both commit; 3PC pays one extra phase of messages.
+    assert happy_2pc["cohort states"] == "committed"
+    assert happy_3pc["cohort states"] == "committed"
+    assert happy_3pc["messages"] > happy_2pc["messages"]
+    # The blocking window: 2PC blocks every cohort...
+    assert blocked_2pc["blocked cohorts"] == 3
+    # ...while 3PC's termination protocol unblocks and stays atomic.
+    assert term_3pc["blocked cohorts"] == 0
+    assert term_3pc["cohort states"] == "aborted"  # all uncertain → abort
+    assert term_3pc_pc["cohort states"] == "committed"  # pre-committed → commit
+    assert term_3pc["atomic"] and term_3pc_pc["atomic"]
+    # Cooperative termination rescues 2PC only when someone knows.
+    assert partial["blocked cohorts"] == 0
+    assert partial["cohort states"] == "committed"

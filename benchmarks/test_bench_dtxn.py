@@ -1,0 +1,100 @@
+"""E18 (extension) — the Google Spanner figure: transactions (2PL+2PC)
+over Paxos-replicated partitions.
+
+Measured: per-transaction message cost as the number of partitions a
+transaction touches grows (2PC's fan-out times each group's replication
+cost), abort/retry behaviour under contention, and that minority
+replica failures inside groups are invisible to the transaction layer.
+"""
+
+from repro.analysis import render_table
+from repro.dtxn import DistributedKV, Transaction
+
+
+def _keys_per_group(db, count):
+    seen = {}
+    index = 0
+    while len(seen) < count:
+        key = "k%d" % index
+        seen.setdefault(db.group_of(key), key)
+        index += 1
+    return [seen[gid] for gid in sorted(seen)][:count]
+
+
+def fanout_row(partitions_touched):
+    db = DistributedKV(n_partitions=3, replicas_per_partition=3, seed=4)
+    keys = _keys_per_group(db, partitions_touched)
+    for key in keys:
+        db.put(key, 100)
+    before = db.cluster.metrics.messages_total
+    txn = db.run_transaction(
+        tuple(keys),
+        lambda reads: {key: reads[key] + 1 for key in keys},
+    )
+    cost = db.cluster.metrics.messages_total - before
+    return {
+        "partitions touched": partitions_touched,
+        "outcome": txn.outcome,
+        "messages / txn": cost,
+        "2pc rounds": 3,  # lock+read, prepare, commit
+    }
+
+
+def contention_row():
+    db = DistributedKV(n_partitions=2, replicas_per_partition=3, seed=5)
+    db.put("hot", 0)
+    txns = [
+        Transaction("t%d" % i, ("hot",),
+                    lambda reads: {"hot": reads["hot"] + 1})
+        for i in range(5)
+    ]
+    for txn in txns:
+        db.coordinator.submit(txn)
+    db.cluster.run_until(lambda: all(t.outcome for t in txns), until=6000.0)
+    return {
+        "concurrent txns on one key": len(txns),
+        "committed": sum(t.outcome == "committed" for t in txns),
+        "lock conflicts": db.coordinator.conflicts_seen,
+        "final value": db.get("hot"),
+    }
+
+
+def fault_row():
+    db = DistributedKV(n_partitions=2, replicas_per_partition=3, seed=6)
+    a, b = _keys_per_group(db, 2)
+    db.put(a, 100)
+    db.put(b, 100)
+    db.crash_one_replica_per_partition()
+    outcome = db.transfer(a, b, 50)
+    db.settle()
+    return {
+        "scenario": "1 replica crashed per group",
+        "transfer": outcome,
+        "total conserved": db.total_of([a, b]) == 200,
+        "groups consistent": db.check_consistency(),
+    }
+
+
+def test_distributed_transactions(benchmark, report):
+    def run_all():
+        return ([fanout_row(k) for k in (1, 2, 3)], contention_row(),
+                fault_row())
+
+    fanout, contention, fault = benchmark.pedantic(run_all, rounds=1,
+                                                   iterations=1)
+    text = render_table(fanout, title="E18 — 2PC fan-out over Paxos groups")
+    text += "\n\n" + render_table([contention], title="contention (no-wait + retry)")
+    text += "\n\n" + render_table([fault], title="replica failure inside groups")
+    report("E18_dtxn", text)
+
+    # Cost grows with the number of groups in the transaction.
+    assert fanout[0]["messages / txn"] < fanout[1]["messages / txn"] \
+        < fanout[2]["messages / txn"]
+    assert all(row["outcome"] == "committed" for row in fanout)
+    # Contention serializes: every increment lands exactly once.
+    assert contention["committed"] == 5
+    assert contention["final value"] == 5
+    assert contention["lock conflicts"] >= 1
+    # Replication hides minority crashes from the transaction layer.
+    assert fault["transfer"] == "committed"
+    assert fault["total conserved"] and fault["groups consistent"]

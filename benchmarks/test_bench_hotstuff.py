@@ -1,0 +1,80 @@
+"""E11 — HotStuff: linear communication, 7 phases, leader rotation,
+request pipelining.
+
+Regenerates the agreement figure (message-delay count), the
+linear-vs-quadratic comparison against PBFT across cluster sizes, and
+the pipelining figure (one decided block per view at steady state).
+"""
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.metrics import classify_order, fit_order
+from repro.net import SynchronousModel
+from repro.protocols.hotstuff import run_basic_hotstuff, run_chained_hotstuff
+from repro.protocols.pbft import run_pbft
+
+
+def latency_row():
+    cluster = Cluster(seed=1, delivery=SynchronousModel(1.0))
+    result = run_basic_hotstuff(cluster, f=1, operations=2)
+    client = result.clients[0]
+    return {
+        "metric": "one-way exchanges per command (incl. request)",
+        "value": client.latencies[0],
+    }
+
+
+def linearity_rows():
+    rows = []
+    hot_samples, pbft_samples = [], []
+    for f in (1, 2, 3):
+        n = 3 * f + 1
+        hc = Cluster(seed=1)
+        run_basic_hotstuff(hc, f=f, operations=2)
+        pc = Cluster(seed=1)
+        run_pbft(pc, f=f, n_clients=1, operations_per_client=2)
+        hot_samples.append((n, hc.metrics.messages_total))
+        pbft_samples.append((n, pc.metrics.messages_total))
+        rows.append({
+            "n": n,
+            "hotstuff msgs": hc.metrics.messages_total,
+            "pbft msgs": pc.metrics.messages_total,
+        })
+    return rows, fit_order(hot_samples), fit_order(pbft_samples)
+
+
+def pipeline_row():
+    cluster = Cluster(seed=2)
+    result = run_chained_hotstuff(cluster, f=1, commands=12)
+    replica = result.replicas[0]
+    decided = len([c for c in replica.decided if c.startswith("cmd")])
+    return {
+        "metric": "chained: views used / commands decided",
+        "value": "%d / %d" % (replica.view, decided),
+    }, replica.view, decided
+
+
+def test_hotstuff(benchmark, report):
+    def run_all():
+        rows, hot_exp, pbft_exp = linearity_rows()
+        pipe, views, decided = pipeline_row()
+        return latency_row(), rows, hot_exp, pbft_exp, pipe, views, decided
+
+    latency, rows, hot_exp, pbft_exp, pipe, views, decided = \
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    text = render_table(rows, title="E11 — HotStuff vs PBFT message growth")
+    text += "\nhotstuff fitted: %s (%.2f); pbft fitted: %s (%.2f)" % (
+        classify_order(hot_exp), hot_exp, classify_order(pbft_exp), pbft_exp)
+    text += "\n%s: %s" % (latency["metric"], latency["value"])
+    text += "\n%s: %s" % (pipe["metric"], pipe["value"])
+    report("E11_hotstuff", text)
+
+    # 7 one-way exchanges after the request (the paper's 7 phases).
+    assert latency["value"] == 8.0
+    # Linear vs quadratic.
+    assert classify_order(hot_exp) == "O(N)"
+    assert classify_order(pbft_exp) == "O(N^2)"
+    # Pipelining: roughly one command per view once the pipe is full.
+    assert decided == 12
+    assert views <= 12 + 6

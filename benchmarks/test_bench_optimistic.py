@@ -1,0 +1,128 @@
+"""E22 (extension) — pessimistic vs optimistic replication.
+
+The taxonomy's third aspect, quantified on the same workload: a
+consensus-backed store (Multi-Paxos ReplicatedKV — "guarantee from the
+beginning that all the replicas are identical") against a Dynamo-style
+EventualKV ("replicas speculatively execute… can diverge… eventual
+consistency").  Three panels:
+
+* normal-case cost (messages and latency per operation),
+* quorum-tunable staleness (R+W > N vs R+W <= N under a flaky link),
+* a partition: the CP store's minority side stalls, the AP store keeps
+  writing and converges after the heal — the CAP trade the DynamoDB
+  slide is selling.
+"""
+
+from repro.analysis import render_table
+from repro.dynamo import EventualKV
+from repro.smr import ReplicatedKV
+
+
+def cost_rows():
+    rows = []
+    kv = ReplicatedKV(n_replicas=3, protocol="multi-paxos", seed=2)
+    before = kv.cluster.metrics.messages_total
+    for i in range(10):
+        kv.put("k%d" % i, i)
+    rows.append({
+        "store": "ReplicatedKV (multi-paxos)",
+        "guarantee": "linearizable",
+        "messages / 10 writes": kv.cluster.metrics.messages_total - before,
+    })
+    ekv = EventualKV(n_replicas=3, n=3, r=2, w=2, seed=2, gossip_interval=0)
+    before = ekv.cluster.metrics.messages_total
+    for i in range(10):
+        ekv.put("k%d" % i, i)
+    rows.append({
+        "store": "EventualKV (N=3, R=2, W=2)",
+        "guarantee": "eventual (quorum-intersecting)",
+        "messages / 10 writes": ekv.cluster.metrics.messages_total - before,
+    })
+    return rows
+
+
+def staleness_rows():
+    rows = []
+    for r, w, label in ((2, 2, "R+W > N"), (1, 1, "R+W <= N")):
+        store = EventualKV(n_replicas=3, n=3, r=r, w=w, seed=11,
+                           gossip_interval=5.0)
+        laggard = store.coordinator.preference_list("y")[0]
+        store.cluster.network.add_interceptor(
+            lambda src, dst, msg, _lag=laggard:
+            False if dst == _lag and msg.mtype == "dynput" else None
+        )
+        stale = 0
+        for i in range(20):
+            store.put("y", i)
+            value, _ = store.get("y")
+            stale += (value != i)
+        rows.append({
+            "config": "N=3, R=%d, W=%d (%s)" % (r, w, label),
+            "stale reads / 20": stale,
+        })
+    return rows
+
+
+def partition_rows():
+    # CP side: Multi-Paxos client cut off with a minority cannot commit.
+    from repro.core.exceptions import LivenessFailure
+    kv = ReplicatedKV(n_replicas=3, protocol="multi-paxos", seed=4,
+                      op_timeout=150.0)
+    kv.put("k", "before")
+    names = [r.name for r in kv.replicas]
+    kv.cluster.network.partitions.split(
+        [names[0], "kvclient"], names[1:]
+    )
+    try:
+        kv.put("k", "during")
+        cp_outcome = "committed (leader side)"
+    except LivenessFailure:
+        cp_outcome = "BLOCKED (no quorum)"
+    kv.cluster.network.partitions.heal()
+
+    # AP side: EventualKV keeps accepting on whatever replicas it reaches.
+    store = EventualKV(n_replicas=4, n=3, r=1, w=1, seed=9,
+                       gossip_interval=5.0)
+    store.put("k", "before")
+    store.settle(60.0)
+    pref = store.coordinator.preference_list("k")
+    isolated = pref[-1]
+    rest = [r.name for r in store.replicas if r.name != isolated]
+    store.partition(rest, [isolated])
+    store.put("k", "during")
+    ap_write = "accepted"
+    store.heal()
+    store.settle(200.0)
+    value, _ = store.get("k")
+    return [
+        {"system": "CP (multi-paxos, minority side)",
+         "write during partition": cp_outcome,
+         "after heal": "log repaired, single history"},
+        {"system": "AP (dynamo, R=W=1)",
+         "write during partition": ap_write,
+         "after heal": "converged on %r (anti-entropy)" % value},
+    ], value, store.converged("k")
+
+
+def test_pessimistic_vs_optimistic(benchmark, report):
+    def run_all():
+        return cost_rows(), staleness_rows(), partition_rows()
+
+    costs, staleness, (partition, final_value, converged) = \
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = render_table(costs, title="E22 — normal-case write cost")
+    text += "\n\n" + render_table(staleness,
+                                  title="staleness vs quorum tunables "
+                                        "(one lossy preferred replica)")
+    text += "\n\n" + render_table(partition, title="behaviour under partition")
+    report("E22_optimistic", text)
+
+    # Consensus costs more than quorum writes in the normal case.
+    assert costs[0]["messages / 10 writes"] > costs[1]["messages / 10 writes"]
+    # Quorum intersection eliminates staleness; weak quorums don't.
+    assert staleness[0]["stale reads / 20"] == 0
+    assert staleness[1]["stale reads / 20"] > 0
+    # CP blocks on the minority side; AP accepts and converges.
+    assert partition[0]["write during partition"].startswith("BLOCKED")
+    assert partition[1]["write during partition"] == "accepted"
+    assert final_value == "during" and converged

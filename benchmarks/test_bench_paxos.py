@@ -1,0 +1,50 @@
+"""E2 — the Paxos message-flow figure.
+
+Regenerates the slides' prepare/accept/decide diagram as numbers: the
+two phases, the 2f+1 cluster, quorum sizes, per-phase message counts,
+and the end-to-end decision latency in message delays.
+"""
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.net import SynchronousModel
+from repro.protocols.paxos import FixedBackoff, run_basic_paxos
+
+
+def run_flow(f):
+    n = 2 * f + 1
+    cluster = Cluster(seed=1, delivery=SynchronousModel(1.0))
+    result = run_basic_paxos(cluster, n_acceptors=n, proposals=("X",),
+                             retry=FixedBackoff(100.0))
+    by_type = cluster.metrics.by_type
+    return {
+        "f": f,
+        "nodes (2f+1)": n,
+        "quorum": n // 2 + 1,
+        "prepare msgs": by_type["prepare"],
+        "ack msgs": by_type["prepareack"],
+        "accept msgs": by_type["accept"],
+        "accepted msgs": by_type["acceptedmsg"],
+        "decide msgs": by_type["decide"],
+        "decision delay": result.decided_at,
+        "decided": result.value,
+    }
+
+
+def test_paxos_flow(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: [run_flow(f) for f in (1, 2, 3)], rounds=1, iterations=1
+    )
+    text = render_table(rows, title="E2 — Paxos: prepare/accept/decide flow")
+    report("E2_paxos_flow", text)
+
+    for row in rows:
+        n = row["nodes (2f+1)"]
+        # Each phase is one leader->acceptors + acceptors->leader round.
+        assert row["prepare msgs"] == n
+        assert row["accept msgs"] == n
+        # 2 phases = 4 one-way message delays before the decision exists.
+        assert row["decision delay"] == 4.0
+        assert row["decided"] == "X"
+        # Quorum is a strict majority: f+1 of 2f+1... i.e. (n//2)+1.
+        assert row["quorum"] == (n // 2) + 1

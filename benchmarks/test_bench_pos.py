@@ -1,0 +1,51 @@
+"""E16 — Proof of Stake: stake-proportional selection and coin age.
+
+Regenerates the PoS slide's claims: a holder with p fraction of the
+coins wins ≈ p of the blocks (randomized selection); coin-age selection
+gates at 30 days, caps at 90, resets winners' age ('don't the rich get
+richer?' mitigations).
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.blockchain import Stakeholder, run_pos_simulation
+
+
+def share_rows(selection):
+    stakes = {"whale": 60.0, "mid": 25.0, "small": 15.0}
+    result = run_pos_simulation(random.Random(3), stakes, blocks=9000,
+                                selection=selection)
+    return [{
+        "selection": selection,
+        "validator": name,
+        "stake share": stakes[name] / sum(stakes.values()),
+        "block share": round(result.share_of(name), 3),
+    } for name in sorted(stakes)]
+
+
+def coin_age_curve():
+    holder = Stakeholder("x", 100.0, stake_since_day=0.0)
+    return [{
+        "days held": days,
+        "coin-age weight": holder.coin_age_weight(float(days)),
+    } for days in (10, 29, 30, 60, 90, 180)]
+
+
+def test_pos(benchmark, report):
+    def run_all():
+        return (share_rows("randomized") + share_rows("coin-age"),
+                coin_age_curve())
+
+    shares, curve = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = render_table(shares, title="E16 — PoS block share vs stake share")
+    text += "\n\n" + render_table(curve, title="coin-age weight curve (30-day gate, 90-day cap)")
+    report("E16_pos", text)
+
+    for row in shares:
+        assert abs(row["block share"] - row["stake share"]) < 0.06
+    by_days = {row["days held"]: row["coin-age weight"] for row in curve}
+    assert by_days[10] == 0.0 and by_days[29] == 0.0      # 30-day gate
+    assert by_days[30] > 0.0
+    assert by_days[90] == by_days[180]                    # 90-day cap
+    assert by_days[60] < by_days[90]

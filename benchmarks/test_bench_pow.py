@@ -1,0 +1,179 @@
+"""E15 — Bitcoin proof of work: mining, forks, difficulty, halving,
+centralization, and the attacks.
+
+Regenerates, one sub-table each:
+
+* the nonce-search figure (real SHA-256 attempts vs target),
+* fork rate vs block-interval/propagation ratio ("mining is
+  probabilistic → forks"),
+* difficulty retargeting holding the block interval,
+* the reward-halving schedule ("currently it's 12.5"),
+* mining centralization: hash share → block share (the 81% pie),
+* double-spend success vs confirmations (weak finality),
+* selfish mining revenue vs hash share.
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.blockchain import (
+    Blockchain,
+    build_block,
+    doublespend_success_probability,
+    make_coinbase,
+    mine,
+    run_mining_network,
+    simulate_doublespend,
+    simulate_selfish_mining,
+)
+from repro.core import Cluster
+from repro.crypto import HASH_SPACE
+from repro.net import UniformDelayModel
+
+
+def nonce_search_rows():
+    rows = []
+    for shift in (8, 10, 12):
+        target = HASH_SPACE >> shift
+        attempts = []
+        for i in range(3):
+            block = build_block("0" * 64, [make_coinbase("m", 50.0, 1)],
+                                timestamp=float(i), target=target, height=1)
+            solved = mine(block)
+            attempts.append(solved.header.nonce + 1)
+        rows.append({
+            "target": "2^256 >> %d" % shift,
+            "expected attempts": 1 << shift,
+            "measured attempts (mean of 3)": sum(attempts) / 3,
+        })
+    return rows
+
+
+def fork_rows():
+    rows = []
+    for tbt in (5.0, 20.0, 60.0):
+        cluster = Cluster(seed=7, delivery=UniformDelayModel(0.5, 2.0))
+        result = run_mining_network(cluster, hashrates=(100.0,) * 4,
+                                    target_block_time=tbt, duration=2500.0)
+        main, abandoned, rate = result.fork_stats()
+        rows.append({
+            "block interval": tbt,
+            "interval/propagation": tbt / 1.25,
+            "main-chain blocks": main,
+            "abandoned blocks": abandoned,
+            "fork rate": rate,
+        })
+    return rows
+
+
+def retarget_rows():
+    # Hashrate doubles mid-run: the next retarget halves the target.
+    chain = Blockchain(initial_target=HASH_SPACE >> 10,
+                       target_block_time=10.0, retarget_interval=8,
+                       pow_check=False)
+    timestamps = []
+    t = 0.0
+    for height in range(1, 25):
+        # First era at nominal speed, then 2x hashrate → 5s blocks.
+        t += 10.0 if height <= 8 else 5.0
+        block = build_block(chain.tip, [make_coinbase("m", 50.0, height)],
+                            timestamp=t, target=chain.expected_target(chain.tip),
+                            height=height)
+        chain.add_block(block)
+        timestamps.append(t)
+    targets = [b.header.target for b in chain.main_chain()]
+    return [{
+        "era": era,
+        "target (relative)": round(targets[era * 8 + 1] / targets[1], 3),
+    } for era in range(3)]
+
+
+def halving_rows():
+    chain = Blockchain(halving_interval=210_000)
+    return [{
+        "height": height,
+        "reward": chain.reward_at(height),
+    } for height in (0, 209_999, 210_000, 420_000, 630_000)]
+
+
+def centralization_rows():
+    cluster = Cluster(seed=3)
+    result = run_mining_network(
+        cluster, hashrates=(810.0, 100.0, 50.0, 40.0),
+        target_block_time=30.0, duration=9000.0,
+    )
+    counts = result.blocks_by_miner()
+    total = sum(counts.values())
+    shares = {"m0": 0.81, "m1": 0.10, "m2": 0.05, "m3": 0.04}
+    return [{
+        "miner": miner,
+        "hash share": share,
+        "block share": round(counts.get(miner, 0) / total, 3),
+    } for miner, share in sorted(shares.items())]
+
+
+def doublespend_rows():
+    rng = random.Random(1)
+    rows = []
+    for q in (0.1, 0.3, 0.45):
+        for k in (1, 6):
+            rows.append({
+                "attacker share q": q,
+                "confirmations": k,
+                "empirical success": simulate_doublespend(rng, q, k,
+                                                          trials=4000),
+                "nakamoto (q/p)^k": round(
+                    doublespend_success_probability(q, k), 5),
+            })
+    return rows
+
+
+def selfish_rows():
+    rows = []
+    for q in (0.2, 0.3, 0.4, 0.45):
+        result = simulate_selfish_mining(random.Random(2), q, blocks=40000)
+        rows.append({
+            "pool hash share": q,
+            "revenue share": round(result.revenue_share, 3),
+            "profitable": result.profitable,
+        })
+    return rows
+
+
+def test_pow(benchmark, report):
+    def run_all():
+        return (nonce_search_rows(), fork_rows(), retarget_rows(),
+                halving_rows(), centralization_rows(), doublespend_rows(),
+                selfish_rows())
+
+    nonce, forks, retarget, halving, central, dspend, selfish = \
+        benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    text = render_table(nonce, title="E15a — nonce search (real SHA-256)")
+    text += "\n\n" + render_table(forks, title="E15b — fork rate vs block interval")
+    text += "\n\n" + render_table(retarget, title="E15c — difficulty retarget (hashrate 2x after era 0)")
+    text += "\n\n" + render_table(halving, title="E15d — reward halving schedule")
+    text += "\n\n" + render_table(central, title="E15e — mining centralization")
+    text += "\n\n" + render_table(dspend, title="E15f — double-spend success (weak finality)")
+    text += "\n\n" + render_table(selfish, title="E15g — selfish mining")
+    report("E15_pow", text)
+
+    # Nonce search effort tracks the target (within Poisson noise).
+    for row in nonce:
+        ratio = row["measured attempts (mean of 3)"] / row["expected attempts"]
+        assert 0.1 < ratio < 10.0
+    # Forks vanish as the interval outgrows propagation.
+    assert forks[0]["fork rate"] > forks[-1]["fork rate"] * 3
+    # The retarget cuts the target after the fast era (clamped at 4x).
+    assert retarget[2]["target (relative)"] < retarget[1]["target (relative)"]
+    # Halving: 50 → 25 → 12.5 ("currently").
+    rewards = [row["reward"] for row in halving]
+    assert rewards == [50.0, 50.0, 25.0, 12.5, 6.25]
+    # Centralization: block share ≈ hash share for the dominant pool.
+    assert abs(central[0]["block share"] - 0.81) < 0.08
+    # Double-spend: more confirmations → exponentially safer; q→0.5 → unsafe.
+    assert dspend[1]["empirical success"] < dspend[0]["empirical success"]
+    assert dspend[-1]["empirical success"] > 0.2
+    # Selfish mining crosses profitability between 1/4 and ~0.35.
+    assert not selfish[0]["profitable"]
+    assert selfish[2]["profitable"]

@@ -1,0 +1,58 @@
+"""E8 — Reaching Agreement in the Presence of Faults: the 3f+1 bound.
+
+Regenerates the worked examples: Case I (N=4, f=1) produces identical,
+valid result vectors with the faulty entry UNKNOWN; Case II (N=3, f=1)
+yields all-UNKNOWN.  The recursive OM(m) sweep confirms the bound at
+several (n, m) points.
+"""
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.net import SynchronousModel
+from repro.protocols.interactive_consistency import (
+    UNKNOWN,
+    om_satisfies_ic,
+    run_interactive_consistency,
+)
+
+
+def vector_case(n, faulty):
+    cluster = Cluster(seed=1, delivery=SynchronousModel(0.5))
+    result = run_interactive_consistency(cluster, n=n, faulty=faulty)
+    return {
+        "case": "N=%d, f=%d" % (n, len(faulty)),
+        "result vector": str(result.honest_results()[0]),
+        "agreement": result.agreement(),
+        "validity": result.validity(),
+    }
+
+
+def om_sweep():
+    rows = []
+    for m, n in ((1, 3), (1, 4), (1, 5), (2, 6), (2, 7)):
+        traitors = set(range(1, m + 1))
+        rows.append({
+            "case": "OM(%d), n=%d" % (m, n),
+            "3m+1": 3 * m + 1,
+            "n >= 3m+1": n >= 3 * m + 1,
+            "IC satisfied": om_satisfies_ic(m, n, traitors),
+        })
+    return rows
+
+
+def test_psl_bound(benchmark, report):
+    def run_all():
+        return ([vector_case(4, (2,)), vector_case(3, (2,))], om_sweep())
+
+    cases, sweep = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = render_table(cases, title="E8 — PSL vector exchange (worked examples)")
+    text += "\n\n" + render_table(sweep, title="recursive OM(m) bound sweep")
+    report("E8_psl_bound", text)
+
+    case4, case3 = cases
+    assert case4["result vector"] == str((1, 2, UNKNOWN, 4))
+    assert case4["agreement"] and case4["validity"]
+    assert case3["result vector"] == str((UNKNOWN, UNKNOWN, UNKNOWN))
+    assert not case3["validity"]
+    for row in sweep:
+        assert row["IC satisfied"] == row["n >= 3m+1"]

@@ -1,0 +1,62 @@
+"""E17 (extension) — Tendermint: "extends PBFT with leader rotation".
+
+The tutorial's permissioned-blockchain slide names Tendermint as PBFT
+plus rotation.  Measured: one round per height with healthy validators,
+an extra round exactly when the rotation hits a silent proposer, PBFT-
+grade message complexity, and identical hash-linked chains everywhere.
+"""
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.metrics import classify_order, fit_order
+from repro.protocols.tendermint import run_tendermint
+
+
+def healthy_row(f):
+    cluster = Cluster(seed=1)
+    result = run_tendermint(cluster, f=f, heights=4)
+    rounds = result.rounds_per_height()
+    return {
+        "validators (3f+1)": 3 * f + 1,
+        "heights": result.min_height(),
+        "max rounds/height": max(rounds.values()),
+        "messages": result.messages,
+        "chains agree": result.chains_consistent(),
+    }
+
+
+def faulty_row():
+    cluster = Cluster(seed=2)
+    result = run_tendermint(cluster, f=1, heights=4, silent_indices=(1,))
+    rounds = result.rounds_per_height()
+    return {
+        "validators (3f+1)": 4,
+        "heights": result.min_height(),
+        "max rounds/height": max(rounds.values()),
+        "messages": result.messages,
+        "chains agree": result.chains_consistent(),
+    }
+
+
+def test_tendermint(benchmark, report):
+    def run_all():
+        return [healthy_row(f) for f in (1, 2, 3)], faulty_row()
+
+    healthy, faulty = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    samples = [(row["validators (3f+1)"], row["messages"]) for row in healthy]
+    exponent = fit_order(samples)
+    text = render_table(healthy, title="E17 — Tendermint, healthy validators")
+    text += "\nmessage complexity: %s (exponent %.2f — PBFT-grade all-to-all"\
+        " votes)" % (classify_order(exponent), exponent)
+    text += "\n\n" + render_table([faulty],
+                                  title="one silent proposer in rotation")
+    report("E17_tendermint", text)
+
+    for row in healthy:
+        assert row["heights"] == 4
+        assert row["max rounds/height"] == 1
+        assert row["chains agree"]
+    # Rotation absorbs the fault at the cost of one extra round.
+    assert faulty["max rounds/height"] >= 2
+    assert faulty["heights"] == 4 and faulty["chains agree"]
+    assert classify_order(exponent) == "O(N^2)"

@@ -1,0 +1,66 @@
+"""E10 — Zyzzyva: speculative BFT, commitment at the client.
+
+Regenerates both agreement-figure cases — case 1 (3f+1 matching replies,
+single phase) and case 2 (2f+1 replies + commit certificate) — and the
+latency/message advantage over PBFT.
+"""
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.net import SynchronousModel
+from repro.protocols.pbft import run_pbft
+from repro.protocols.zyzzyva import run_zyzzyva
+
+
+def case_row(label, slow):
+    cluster = Cluster(seed=1, delivery=SynchronousModel(1.0))
+    result = run_zyzzyva(cluster, f=1, operations=3, slow_replicas=slow)
+    ones, twos = result.case_counts()
+    client = result.clients[0]
+    return {
+        "scenario": label,
+        "case-1 completions": ones,
+        "case-2 completions": twos,
+        "mean latency (delays)": sum(client.latencies) / len(client.latencies),
+        "messages": result.messages,
+        "consistent": result.logs_consistent(),
+    }
+
+
+def pbft_row():
+    cluster = Cluster(seed=1, delivery=SynchronousModel(1.0))
+    result = run_pbft(cluster, f=1, n_clients=1, operations_per_client=3)
+    client = result.clients[0]
+    return {
+        "scenario": "pbft baseline",
+        "case-1 completions": None,
+        "case-2 completions": None,
+        "mean latency (delays)": sum(client.latencies) / len(client.latencies),
+        "messages": result.messages,
+        "consistent": result.logs_consistent(),
+    }
+
+
+def test_zyzzyva(benchmark, report):
+    def run_all():
+        return [case_row("all replicas healthy (case 1)", ()),
+                case_row("one silent replica (case 2)", (3,)),
+                pbft_row()]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = render_table(rows, title="E10 — Zyzzyva speculative execution")
+    report("E10_zyzzyva", text)
+
+    case1, case2, pbft = rows
+    assert case1["case-1 completions"] == 3
+    assert case2["case-2 completions"] == 3
+    # Case 1 is a single phase: request + order + reply = 3 delays,
+    # strictly faster than PBFT's 3-phase pipeline.
+    assert case1["mean latency (delays)"] == 3.0
+    assert case1["mean latency (delays)"] < pbft["mean latency (delays)"]
+    # Case 2 pays the commit-certificate round but still beats nothing —
+    # it's slower than case 1.
+    assert case2["mean latency (delays)"] > case1["mean latency (delays)"]
+    # Fewer messages than PBFT (linear vs quadratic).
+    assert case1["messages"] < pbft["messages"]
+    assert case1["consistent"] and case2["consistent"]

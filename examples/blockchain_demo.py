@@ -1,0 +1,102 @@
+"""Bitcoin in miniature: real PoW, forks, difficulty, and an attack.
+
+Walks through the tutorial's permissionless-blockchain material:
+
+1. genuine SHA-256 nonce search at a laptop target,
+2. a four-miner network where fast blocks cause forks that the
+   longest-chain rule resolves,
+3. a payment confirming across the network,
+4. the double-spend finality curve (why merchants wait 6 blocks).
+
+Run:  python examples/blockchain_demo.py
+"""
+
+import random
+
+from repro.blockchain import (
+    Blockchain,
+    doublespend_success_probability,
+    make_transaction,
+    mine,
+    run_mining_network,
+    simulate_doublespend,
+)
+from repro.blockchain.miner import Miner
+from repro.core import Cluster
+from repro.crypto import HASH_SPACE, KeyRegistry
+from repro.net import UniformDelayModel
+
+
+def demo_nonce_search():
+    print("== 1. the nonce search (real SHA-256) ==")
+    keys = KeyRegistry()
+    chain = Blockchain(initial_target=HASH_SPACE >> 14, keys=keys)
+    block = mine(chain.next_block("demo-miner", timestamp=1.0))
+    print("  target: 2^256 >> 14 (1 in %d hashes)" % (1 << 14))
+    print("  found nonce %d -> hash %s..." % (block.header.nonce,
+                                              block.hash[:16]))
+    chain.add_block(block)
+    print("  chain height:", chain.height)
+    print()
+
+
+def demo_forks():
+    print("== 2. mining races and forks ==")
+    for interval, label in ((5.0, "fast blocks (interval ~ propagation)"),
+                            (60.0, "slow blocks (Bitcoin-like ratio)")):
+        cluster = Cluster(seed=7, delivery=UniformDelayModel(0.5, 2.0))
+        result = run_mining_network(cluster, hashrates=(100.0,) * 4,
+                                    target_block_time=interval,
+                                    duration=2500.0)
+        main, abandoned, rate = result.fork_stats()
+        print("  %-38s main=%3d abandoned=%3d fork-rate=%.1f%%"
+              % (label, main, abandoned, 100 * rate))
+    print("  (miners join the longest chain; abandoned transactions are"
+          " resubmitted)")
+    print()
+
+
+def demo_payment():
+    print("== 3. a payment confirms ==")
+    cluster = Cluster(seed=4)
+    keys = KeyRegistry()
+    names = ["m0", "m1", "m2"]
+    params = {"initial_target": int(HASH_SPACE / (300.0 * 20.0)),
+              "target_block_time": 20.0, "pow_check": False, "keys": keys}
+    miners = [cluster.add_node(Miner, n, names, 100.0, chain_params=params)
+              for n in names]
+    cluster.start_all()
+    cluster.run(until=100.0)
+    tx = make_transaction(keys, "satoshi", "alice", 10.0, 0)
+    miners[0].submit_transaction(tx)
+    print("  satoshi -> alice: 10.0 submitted to m0's mempool")
+    cluster.run(until=1200.0)
+    for miner in miners:
+        print("  %s sees alice = %.1f at height %d"
+              % (miner.name, miner.chain.ledger().balance("alice"),
+                 miner.chain.height))
+    print()
+
+
+def demo_finality():
+    print("== 4. weak finality: the double-spend race ==")
+    rng = random.Random(1)
+    print("  %-18s %-16s %s" % ("attacker share", "confirmations",
+                                "success (sim / theory)"))
+    for q in (0.1, 0.3):
+        for k in (1, 6):
+            emp = simulate_doublespend(rng, q, k, trials=3000)
+            theory = doublespend_success_probability(q, k)
+            print("  %-18.2f %-16d %.4f / %.4f" % (q, k, emp, theory))
+    print("  (six confirmations make a 10%-attacker's odds ~1e-6)")
+
+
+def main():
+    demo_nonce_search()
+    demo_forks()
+    demo_payment()
+    demo_finality()
+
+
+if __name__ == "__main__":
+    main()

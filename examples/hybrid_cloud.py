@@ -1,0 +1,70 @@
+"""SeeMoRe: picking a consensus mode for a hybrid cloud.
+
+The tutorial's deployment question: a few trusted (crash-only) private
+machines, many untrusted (possibly Byzantine) public ones — which of
+SeeMoRe's three modes fits?  This example runs the same workload under
+all three, including a slow cross-cloud link, and prints the trade-off
+table (phases, quorum, messages, latency).
+
+Run:  python examples/hybrid_cloud.py
+"""
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.net import PerLinkModel, UniformDelayModel
+from repro.protocols.seemore import run_seemore
+
+
+def cross_cloud_delivery():
+    """Intra-cloud links are fast; anything crossing clouds is ~4x slower
+    — the latency asymmetry that motivates mode 3."""
+    fast = UniformDelayModel(0.3, 0.6)
+    slow = UniformDelayModel(1.5, 2.5)
+
+    class CrossCloud(PerLinkModel):
+        def delay(self, rng, src, dst, now):
+            src_private = src.startswith("priv")
+            dst_private = dst.startswith("priv")
+            model = fast if src_private == dst_private else slow
+            return model.delay(rng, src, dst, now)
+
+    return CrossCloud(fast)
+
+
+MODE_NOTES = {
+    1: "trusted primary, centralized  (private cloud does everything)",
+    2: "trusted primary, decentralized (public proxies decide)",
+    3: "untrusted primary, decentralized (private cloud fully offloaded)",
+}
+
+
+def main():
+    rows = []
+    for mode in (1, 2, 3):
+        cluster = Cluster(seed=mode, delivery=cross_cloud_delivery())
+        result = run_seemore(cluster, mode=mode, m=1, c=1, operations=4)
+        client = result.clients[0]
+        private_load = sum(
+            count for (src, _dst), count in cluster.metrics.by_link.items()
+            if src.startswith("priv")
+        )
+        rows.append({
+            "mode": mode,
+            "description": MODE_NOTES[mode],
+            "quorum": result.replicas[0]._quorum(),
+            "messages": result.messages,
+            "private-cloud sends": private_load,
+            "mean latency": sum(client.latencies) / len(client.latencies),
+            "done": client.done,
+        })
+    print(render_table(rows, title="SeeMoRe on a hybrid cloud (m=1, c=1, "
+                                   "4 operations, slow cross-cloud links)"))
+    print("\nReading the table: mode 1 is cheapest in messages but keeps the"
+          "\nprivate cloud on the critical path; modes 2-3 shift work to the"
+          "\npublic proxies (bigger message bills, lighter private load),"
+          "\nwith mode 3 adding a validation phase since even the primary"
+          "\nis untrusted.")
+
+
+if __name__ == "__main__":
+    main()

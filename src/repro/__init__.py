@@ -1,0 +1,28 @@
+"""repro — 40 Years of Consensus, reproduced.
+
+A deterministic discrete-event reproduction of every system in the
+ICDE 2020 tutorial "Modern Large-Scale Data Management Systems after 40
+Years of Consensus" (Amiri, Agrawal, El Abbadi): Paxos and its family,
+Raft, 2PC/3PC, PBFT, Zyzzyva, HotStuff, MinBFT, CheapBFT, UpRight,
+SeeMoRe, XFT, Ben-Or, Pease-Shostak-Lamport interactive consistency,
+and Bitcoin-style PoW / PoS blockchains — all on one simulated network
+substrate with full fault injection.
+
+Quickstart::
+
+    from repro.smr import ReplicatedKV
+
+    store = ReplicatedKV(n_replicas=3, protocol="multi-paxos", seed=7)
+    store.put("hello", "world")
+    store.crash_leader()
+    assert store.get("hello") == "world"
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced figures/tables.
+"""
+
+__version__ = "1.0.0"
+
+from .core.cluster import Cluster  # noqa: F401  (primary entry point)
+
+__all__ = ["Cluster", "__version__"]

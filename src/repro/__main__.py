@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — every implemented protocol with its paper property box.
+* ``run <protocol>`` — one live run of a protocol, with a summary.
+* ``kv`` — interactive-ish replicated-KV demo (scripted operations).
+* ``mine`` — a short PoW mining-network run with fork statistics.
+* ``table`` — the measured-vs-paper comparison table (E1, abridged).
+"""
+
+import argparse
+import sys
+
+from .analysis import claim_for, comparison_table, render_table
+from .core import Cluster
+
+
+def cmd_list(_args):
+    import repro.protocols  # noqa: F401  (registers profiles)
+    rows = comparison_table()
+    print(render_table(rows, title="Implemented protocols"))
+    return 0
+
+
+def cmd_experiments(_args):
+    from .analysis import generate_experiments_md
+    path, count = generate_experiments_md()
+    print("wrote %s (%d experiments)" % (path, count))
+    return 0
+
+
+def cmd_table(_args):
+    sys.path.insert(0, "benchmarks")
+    try:
+        from test_bench_property_table import build_property_table
+    except ImportError:
+        print("run from the repository root (needs benchmarks/)")
+        return 1
+    print(render_table(build_property_table(),
+                       title="Paper vs measured (E1)"))
+    return 0
+
+
+_RUNNERS = {}
+
+
+def _runner(name):
+    def register(fn):
+        _RUNNERS[name] = fn
+        return fn
+    return register
+
+
+@_runner("paxos")
+def _run_paxos(cluster):
+    from .protocols.paxos import run_basic_paxos
+    result = run_basic_paxos(cluster, n_acceptors=5, proposals=("X", "Y"),
+                             stagger=1.0)
+    return "decided %r after %d proposer round(s)" % (result.value,
+                                                      result.rounds)
+
+
+@_runner("raft")
+def _run_raft(cluster):
+    from .protocols.raft import run_raft
+    result = run_raft(cluster, n_nodes=5, commands_per_client=5,
+                      crash_leader_at=20.0)
+    return "5 commands through a leader crash; consistent=%s" % \
+        result.logs_consistent()
+
+
+@_runner("pbft")
+def _run_pbft(cluster):
+    from .protocols.pbft import EquivocatingPrimary, run_pbft
+    result = run_pbft(cluster, f=1, operations_per_client=3,
+                      primary_class=EquivocatingPrimary)
+    return "3 ops despite an equivocating primary; consistent=%s" % \
+        result.logs_consistent()
+
+
+@_runner("hotstuff")
+def _run_hotstuff(cluster):
+    from .protocols.hotstuff import run_chained_hotstuff
+    result = run_chained_hotstuff(cluster, commands=6)
+    return "6 commands pipelined; prefix-consistent=%s" % \
+        result.logs_consistent()
+
+
+@_runner("tendermint")
+def _run_tendermint(cluster):
+    from .protocols.tendermint import run_tendermint
+    result = run_tendermint(cluster, heights=4)
+    return "4 blocks; chains agree=%s" % result.chains_consistent()
+
+
+@_runner("ben-or")
+def _run_benor(cluster):
+    from .protocols.benor import run_benor
+    result = run_benor(cluster, n=5, f=1, crash_indices=(4,))
+    return "decided %r in %d round(s) despite a crash" % (
+        result.decided_values()[0], result.max_round())
+
+
+@_runner("chandra-toueg")
+def _run_ct(cluster):
+    from .protocols.chandra_toueg import run_chandra_toueg
+    result = run_chandra_toueg(cluster, n=5, f=2, crash_indices=(1,))
+    return "decided %r via the failure-detector oracle" % \
+        result.decided_values()[0]
+
+
+def cmd_run(args):
+    runner = _RUNNERS.get(args.protocol)
+    if runner is None:
+        print("unknown or non-runnable protocol %r; choices: %s"
+              % (args.protocol, ", ".join(sorted(_RUNNERS))))
+        return 1
+    cluster = Cluster(seed=args.seed)
+    summary = runner(cluster)
+    try:
+        claim = claim_for(args.protocol)
+        box = "nodes=%s phases=%s msgs=%s" % (claim.nodes, claim.phases,
+                                              claim.complexity)
+    except KeyError:
+        box = "-"
+    print("%s: %s" % (args.protocol, summary))
+    print("paper box: %s | measured messages: %d | virtual time: %.1f"
+          % (box, cluster.metrics.messages_total, cluster.now))
+    return 0
+
+
+def cmd_kv(args):
+    from .smr import ReplicatedKV
+    kv = ReplicatedKV(n_replicas=args.replicas, protocol=args.protocol,
+                      seed=args.seed)
+    kv.put("greeting", "hello")
+    kv.incr("visits")
+    kv.incr("visits")
+    leader = kv.crash_leader()
+    kv.put("post-crash", True)
+    kv.settle()
+    print("protocol=%s replicas=%d crashed-leader=%s" % (
+        args.protocol, args.replicas, leader))
+    print("greeting=%r visits=%r post-crash=%r" % (
+        kv.get("greeting"), kv.get("visits"), kv.get("post-crash")))
+    print("consistent:", kv.check_consistency())
+    return 0
+
+
+def cmd_mine(args):
+    from .blockchain import run_mining_network
+    cluster = Cluster(seed=args.seed)
+    result = run_mining_network(
+        cluster, hashrates=(600.0, 200.0, 100.0, 100.0),
+        target_block_time=args.interval, duration=args.duration,
+    )
+    main, abandoned, rate = result.fork_stats()
+    print("height=%d abandoned=%d fork-rate=%.1f%%" % (main, abandoned,
+                                                       100 * rate))
+    counts = result.blocks_by_miner()
+    total = sum(counts.values())
+    for miner, count in sorted(counts.items()):
+        print("  %s: %5.1f%% of blocks" % (miner, 100 * count / total))
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="40 Years of Consensus — run the protocols",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list implemented protocols")
+    sub.add_parser("table", help="paper-vs-measured comparison table")
+    sub.add_parser("experiments",
+                   help="regenerate EXPERIMENTS.md from benchmark results")
+    run_parser = sub.add_parser("run", help="run one protocol")
+    run_parser.add_argument("protocol", help="e.g. paxos, pbft, tendermint")
+    run_parser.add_argument("--seed", type=int, default=0)
+    kv_parser = sub.add_parser("kv", help="replicated-KV demo")
+    kv_parser.add_argument("--protocol", default="multi-paxos",
+                           choices=("multi-paxos", "raft", "pbft"))
+    kv_parser.add_argument("--replicas", type=int, default=3)
+    kv_parser.add_argument("--seed", type=int, default=0)
+    mine_parser = sub.add_parser("mine", help="PoW mining-network demo")
+    mine_parser.add_argument("--interval", type=float, default=30.0)
+    mine_parser.add_argument("--duration", type=float, default=5000.0)
+    mine_parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "table": cmd_table,
+        "experiments": cmd_experiments,
+        "run": cmd_run,
+        "kv": cmd_kv,
+        "mine": cmd_mine,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)  # output piped into a pager/head that closed early

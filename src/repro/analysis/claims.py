@@ -1,0 +1,76 @@
+"""The paper's claims as data — ground truth for the E-experiments.
+
+``PAPER_TABLE`` is the comparison table assembled from the per-protocol
+property boxes in the slides; the E1 bench prints it next to measured
+values, and EXPERIMENTS.md records both.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One protocol row as the tutorial states it."""
+
+    protocol: str
+    failure_model: str
+    nodes: str
+    phases: str
+    complexity: str
+    #: Formula n(f) for the minimum cluster size, used by benches to
+    #: instantiate the right cluster, or None when not f-parametric.
+    nodes_of_f: object = None
+
+
+PAPER_TABLE = [
+    PaperClaim("paxos", "crash", "2f+1", "2", "O(N)", lambda f: 2 * f + 1),
+    PaperClaim("multi-paxos", "crash", "2f+1", "2", "O(N)",
+               lambda f: 2 * f + 1),
+    PaperClaim("raft", "crash", "2f+1", "2", "O(N)", lambda f: 2 * f + 1),
+    PaperClaim("fast-paxos", "crash", "3f+1", "1 or 3", "O(N)",
+               lambda f: 3 * f + 1),
+    PaperClaim("flexible-paxos", "crash", "|Q1|+|Q2|>n", "2", "O(N)", None),
+    PaperClaim("2pc", "crash", "n", "2", "O(N)", None),
+    PaperClaim("3pc", "crash", "n", "3", "O(N)", None),
+    PaperClaim("pbft", "byzantine", "3f+1", "3", "O(N^2)",
+               lambda f: 3 * f + 1),
+    PaperClaim("zyzzyva", "byzantine", "3f+1", "1 or 2", "O(N)",
+               lambda f: 3 * f + 1),
+    PaperClaim("hotstuff", "byzantine", "3f+1", "7", "O(N)",
+               lambda f: 3 * f + 1),
+    PaperClaim("minbft", "hybrid", "2f+1", "2", "O(N)", lambda f: 2 * f + 1),
+    PaperClaim("cheapbft", "hybrid", "f+1 active / 2f+1", "2", "O(N)",
+               lambda f: 2 * f + 1),
+    PaperClaim("upright", "hybrid", "3m+2c+1", "3", "O(N^2)", None),
+    PaperClaim("seemore", "hybrid", "3m+2c+1", "2 or 3", "O(N)/O(N^2)", None),
+    PaperClaim("xft", "crash+non-crash", "2f+1", "2", "O(N)",
+               lambda f: 2 * f + 1),
+    PaperClaim("ben-or", "crash", "2f+1", "2 per round", "O(N^2)",
+               lambda f: 2 * f + 1),
+    PaperClaim("interactive-consistency", "byzantine", "3f+1", "2", "O(N^2)",
+               lambda f: 3 * f + 1),
+    PaperClaim("pow", "byzantine", "unknown", "1", "O(N)", None),
+    PaperClaim("tendermint", "byzantine", "3f+1", "3 per round", "O(N^2)",
+               lambda f: 3 * f + 1),
+    PaperClaim("chandra-toueg", "crash", "2f+1", "4 per round", "O(N)",
+               lambda f: 2 * f + 1),
+]
+
+
+def claim_for(protocol):
+    for claim in PAPER_TABLE:
+        if claim.protocol == protocol:
+            return claim
+    raise KeyError(protocol)
+
+
+#: Classical lower bounds the tutorial cites, checked by property tests.
+LOWER_BOUNDS = {
+    "byzantine_agreement_nodes": lambda f: 3 * f + 1,   # Pease-Shostak-Lamport
+    "crash_consensus_nodes": lambda f: 2 * f + 1,
+    "hybrid_nodes": lambda m, c: 3 * m + 2 * c + 1,     # UpRight
+    "bft_quorum": lambda f: 2 * f + 1,
+    "bft_quorum_intersection": lambda f: f + 1,
+    "hybrid_quorum": lambda m, c: 2 * m + c + 1,
+    "hybrid_quorum_intersection": lambda m, c: m + 1,
+}

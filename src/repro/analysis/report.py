@@ -1,0 +1,195 @@
+"""EXPERIMENTS.md generation from benchmark result artifacts.
+
+Each benchmark in ``benchmarks/`` writes its paper-vs-measured table to
+``benchmarks/results/E<k>_<slug>.txt``; this module stitches those
+artifacts together with per-experiment commentary into EXPERIMENTS.md.
+Exposed on the CLI as ``python -m repro experiments``.
+"""
+
+import pathlib
+import re
+
+#: Commentary per experiment: (title, what-the-paper-claims vs measured).
+EXPERIMENT_NOTES = {
+    "E1": ("The comparison table",
+           "Paper: the per-protocol property boxes (nodes / phases / message\n"
+           "complexity). Measured: live runs at f=1 plus a cluster-size sweep with\n"
+           "log-log complexity fitting. Every claim matches, with one honest\n"
+           "deviation: MinBFT's COMMIT phase is all-to-all in the protocol (and in\n"
+           "the tutorial's own sequence diagram), so the *measured* message count\n"
+           "fits O(N^2); the slide's box says O(N), counting per-sender cost. The\n"
+           "headline claims - 2f+1 replicas and 2 phases, 'same as Paxos' - hold."),
+    "E2": ("Paxos message flow",
+           "Paper: the prepare/accept/decide diagram on 2f+1 nodes. Measured:\n"
+           "exactly n messages per phase direction, majority quorums, and the\n"
+           "decision existing after 4 one-way delays (2 phases), at every f."),
+    "E3": ("The livelock figure",
+           "Paper: 'competing proposers can livelock' (the S1..S5 schedule);\n"
+           "'one solution: randomized delay before restarting.' Measured: with\n"
+           "fixed symmetric restart delays, 0/10 seeded duels ever decide (100+\n"
+           "preempting rounds each); with randomized backoff, 10/10 decide."),
+    "E4": ("Multi-Paxos's optimisation",
+           "Paper: run phase 1 only when the leader changes. Measured over 20\n"
+           "commands: basic Paxos pays ~2n phase-1 messages per command; Multi-\n"
+           "Paxos pays ~0 (one bootstrap election amortised over the log), with\n"
+           "comparable phase-2 cost per command."),
+    "E5": ("Fast Paxos",
+           "Paper: 2 message delays instead of 3, needing 3f+1 nodes; collisions\n"
+           "fall back to a classic round. Measured: fast round learns in exactly\n"
+           "2.0 delays vs 3.0 for basic Paxos; racing clients collide in a third\n"
+           "of jittered runs and always converge on exactly one value, paying\n"
+           ">1.3x the delay in recovery."),
+    "E6": ("Flexible Paxos",
+           "Paper: only phase-1 x phase-2 intersection is needed; replication\n"
+           "quorums may shrink arbitrarily; no changes to the algorithm. Measured:\n"
+           "counting (|Q1|=10,|Q2|=3) and grid (4x3) systems decide with the\n"
+           "unmodified Paxos engine while replication quorums sit far below the\n"
+           "majority; the negative control (non-intersecting quorums) decides TWO\n"
+           "values - quorum intersection is exactly where safety lives."),
+    "E7": ("2PC blocks, 3PC doesn't",
+           "Paper: 2PC's uncertainty window blocks; 3PC replicates the decision\n"
+           "(pre-commit) and terminates. Measured: coordinator crash after votes\n"
+           "blocks all 3 cohorts under 2PC forever; under 3PC the termination\n"
+           "protocol elects a recovery coordinator and resolves (abort if nobody\n"
+           "pre-committed, commit if anyone did), atomically, every time."),
+    "E8": ("The 3f+1 lower bound",
+           "Paper: the worked interactive-consistency examples. Measured: N=4/f=1\n"
+           "yields identical honest vectors (1, 2, UNKNOWN, 4) - agreement and\n"
+           "validity hold; N=3/f=1 yields all-UNKNOWN. The recursive OM(m) sweep\n"
+           "satisfies IC exactly when n >= 3m+1."),
+    "E9": ("PBFT",
+           "Paper: 3 phases, 3f+1 nodes, O(N^2) agreement, O(N^3) view change.\n"
+           "Measured: all three phase types present; agreement traffic fits\n"
+           "O(N^2) (exponent ~2.2); view-change message count grows superlinearly\n"
+           "with certificate payloads carrying the extra O(N) factor the paper\n"
+           "counts in bits."),
+    "E10": ("Zyzzyva",
+            "Paper: speculative execution, commitment at the client; case 1 = 3f+1\n"
+            "matching replies in one phase, case 2 = 2f+1 + commit certificate.\n"
+            "Measured: case 1 completes in exactly 3 one-way delays (vs PBFT's 5+),\n"
+            "case 2 engages exactly when a replica is silent and costs the extra\n"
+            "certificate round; messages stay linear vs PBFT's quadratic."),
+    "E11": ("HotStuff",
+            "Paper: 7 phases, O(N) via threshold-signature QCs, leader rotation,\n"
+            "pipelining. Measured: 8 one-way exchanges including the request (the\n"
+            "7 the paper counts + the client hop); message growth fits O(N) while\n"
+            "PBFT fits O(N^2); the chained pipeline decides 12 commands in <= 18\n"
+            "views (one block per view at steady state)."),
+    "E12": ("Trusted components",
+            "Paper: MinBFT needs 2f+1 replicas and 2 phases ('same as Paxos');\n"
+            "CheapBFT runs f+1 actives and switches to MinBFT on a PANIC.\n"
+            "Measured: replica counts 4 (PBFT) vs 3 (MinBFT/CheapBFT); message\n"
+            "costs CheapTiny < MinBFT < PBFT; an active-replica crash triggers\n"
+            "client PANIC -> CheapSwitch -> MinBFT, finishing the workload\n"
+            "consistently."),
+    "E13": ("Hybrid fault models",
+            "Paper: UpRight's 3m+2c+1 / 2m+c+1 / m+1 arithmetic; SeeMoRe's three\n"
+            "modes (2 or 3 phases, quorum 2m+c+1 or 2m+1, O(n) or O(n^2)); XFT is\n"
+            "safe outside anarchy. Measured: UpRight lives at exactly (m, c) faults\n"
+            "and stalls one crash beyond, staying safe; SeeMoRe's modes order\n"
+            "1 < 2 < 3 in messages with the claimed phases/quorums; XFT diverges\n"
+            "under Byzantine-leader + partition (anarchy) and is provably\n"
+            "safe in the no-partition control."),
+    "E14": ("Circumventing FLP (randomization)",
+            "Paper: sacrifice determinism - randomized consensus terminates.\n"
+            "Measured: 90/90 adversarially-delayed Ben-Or runs decide with\n"
+            "agreement intact; unanimous inputs finish in round 1, split inputs\n"
+            "need the coin (median 2-3 rounds)."),
+    "E15": ("Bitcoin PoW",
+            "Paper: the mining-details figures, forks, difficulty, halving,\n"
+            "centralization, weak finality, selfish mining. Measured: real SHA-256\n"
+            "nonce searches track the target; fork rate falls ~8x as the block\n"
+            "interval outgrows propagation; the retarget responds (clamped 4x)\n"
+            "when hashrate doubles; rewards follow 50/25/12.5 ('currently');\n"
+            "an 81%-hash pool wins ~81% of blocks; double-spend success matches\n"
+            "Nakamoto's (q/p)^k; selfish mining turns profitable above ~1/3."),
+    "E16": ("Proof of Stake",
+            "Paper: a p-fraction stakeholder wins ~p of blocks; coin-age selection\n"
+            "gates at 30 days, peaks at 90, resets on use. Measured: block shares\n"
+            "within 6 points of stake shares for both selectors; the weight curve\n"
+            "is exactly 0 before day 30, linear to 90, flat after."),
+    "E17": ("Tendermint (extension)",
+            "Paper: 'Tendermint has its own consensus protocol - extends PBFT with\n"
+            "leader rotation.' Measured: healthy validators commit every height in\n"
+            "one round with all-to-all (O(N^2)) votes; a silent proposer costs\n"
+            "exactly one extra round at the heights the rotation assigns it; the\n"
+            "decided blocks are hash-linked and identical on every validator."),
+    "E18": ("Spanner-style transactions (extension)",
+            "Paper: the Google Spanner figure - transactions (2PL+2PC) in the\n"
+            "execution tier over Paxos-replicated partitions in the storage tier.\n"
+            "Measured: per-transaction messages grow with the number of groups a\n"
+            "transaction touches (the 2PC fan-out times each group's replication\n"
+            "cost); no-wait locking + randomized retry serializes contended\n"
+            "transactions exactly once; a crashed replica in every group is\n"
+            "invisible to the transaction layer."),
+    "E19": ("Ablations (extension)",
+            "Design-choice knobs isolated one at a time: zero backoff jitter IS\n"
+            "the livelock and any meaningful jitter restores liveness; frequent\n"
+            "PBFT checkpoints trade checkpoint traffic for a small retained log;\n"
+            "the PoW fork rate falls monotonically as the block interval outgrows\n"
+            "propagation delay - the reason Bitcoin picked minutes."),
+    "E22": ("Pessimistic vs optimistic replication (extension)",
+            "The taxonomy's third aspect on one workload: consensus-backed\n"
+            "writes cost ~3x the messages of Dynamo quorum writes; R+W > N\n"
+            "eliminates staleness while R+W <= N shows it under a lossy\n"
+            "replica; under a partition the CP store's minority side blocks\n"
+            "while the AP store keeps accepting and converges after the heal\n"
+            "- the CAP trade the DynamoDB slide is selling."),
+    "E21": ("The price of tolerance (extension)",
+            "One workload up the fault-model ladder: crash consensus runs on\n"
+            "2f+1 replicas with the leanest message bills; trusted hardware\n"
+            "(MinBFT/CheapBFT) buys Byzantine coverage at crash-like prices; full\n"
+            "BFT pays 3f+1 replicas, with Zyzzyva's speculation cheapest in\n"
+            "latency, PBFT quadratic in messages, and HotStuff trading latency\n"
+            "(7 phases) for linearity."),
+    "E20": ("Circumventing FLP (the oracle)",
+            "Paper: 'adding oracle (failure detector)'. Measured: Chandra-Toueg\n"
+            "rotating-coordinator consensus decides in 12/12 runs with a heartbeat\n"
+            "detector - through coordinator crashes and heavy asynchrony - while\n"
+            "an always-wrong oracle costs liveness but never agreement: safety is\n"
+            "oracle-independent, exactly the division FLP allows."),
+}
+
+HEADER = """# EXPERIMENTS — paper vs measured
+
+Every figure/table in the tutorial, regenerated by `pytest benchmarks/
+--benchmark-only`.  Each section: what the paper claims, what this repo
+measures, and the generated table (also in `benchmarks/results/`).
+Absolute numbers are simulator-scale; the reproduced content is the
+*shape* — who wins, by what factor, where the boundaries fall.
+E17–E20 are extensions beyond the deck's headline figures (see
+DESIGN.md's extension table).
+"""
+
+
+def collect_results(results_dir):
+    """Result files keyed by experiment id, in numeric order."""
+    results_dir = pathlib.Path(results_dir)
+    files = {}
+    for path in results_dir.glob("E*.txt"):
+        match = re.match(r"(E\d+)", path.name)
+        if match:
+            files[match.group(1)] = path
+    return dict(sorted(files.items(),
+                       key=lambda item: int(item[0][1:])))
+
+
+def generate_experiments_md(results_dir="benchmarks/results",
+                            output="EXPERIMENTS.md"):
+    """Assemble EXPERIMENTS.md; returns (path, number of experiments).
+
+    Experiments without commentary get a placeholder note so new benches
+    are never silently dropped from the record.
+    """
+    sections = [HEADER]
+    files = collect_results(results_dir)
+    for eid, path in files.items():
+        title, note = EXPERIMENT_NOTES.get(
+            eid, (path.stem, "(no commentary recorded yet)")
+        )
+        sections.append("## %s — %s\n\n%s\n\n```\n%s\n```\n"
+                        % (eid, title, note, path.read_text().rstrip()))
+    text = "\n".join(sections)
+    out_path = pathlib.Path(output)
+    out_path.write_text(text)
+    return out_path, len(files)

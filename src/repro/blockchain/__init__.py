@@ -1,0 +1,75 @@
+"""Blockchain substrate: PoW chain, mining network, attacks, PoS."""
+
+from .attacks import (
+    doublespend_success_probability,
+    simulate_doublespend,
+    simulate_selfish_mining,
+)
+from .block import (
+    DEFAULT_TARGET,
+    BlockHeader,
+    PowBlock,
+    build_block,
+    mine,
+    validate_pow,
+)
+from .chain import Blockchain
+from .miner import Miner, MiningResult, run_mining_network
+from .pos_variants import (
+    DposResult,
+    PoaResult,
+    elect_witnesses,
+    run_dpos,
+    run_poa,
+)
+from .spv import InclusionProof, LightClient, build_inclusion_proof
+from .pos import (
+    PosResult,
+    Stakeholder,
+    run_pos_simulation,
+    select_coin_age,
+    select_randomized,
+)
+from .transactions import (
+    Ledger,
+    Transaction,
+    block_reward,
+    make_coinbase,
+    make_transaction,
+    verify_transaction,
+)
+
+__all__ = [
+    "Blockchain",
+    "InclusionProof",
+    "LightClient",
+    "build_inclusion_proof",
+    "BlockHeader",
+    "DEFAULT_TARGET",
+    "DposResult",
+    "PoaResult",
+    "elect_witnesses",
+    "run_dpos",
+    "run_poa",
+    "Ledger",
+    "Miner",
+    "MiningResult",
+    "PosResult",
+    "PowBlock",
+    "Stakeholder",
+    "Transaction",
+    "block_reward",
+    "build_block",
+    "doublespend_success_probability",
+    "make_coinbase",
+    "make_transaction",
+    "mine",
+    "run_mining_network",
+    "run_pos_simulation",
+    "select_coin_age",
+    "select_randomized",
+    "simulate_doublespend",
+    "simulate_selfish_mining",
+    "validate_pow",
+    "verify_transaction",
+]

@@ -1,0 +1,154 @@
+"""Attacks on PoW consensus: the 51% double-spend race and selfish mining.
+
+The tutorial lists "selfish mining and other attacks" and "weak finality
+guarantees" among PoW's issues; both are quantified here.
+
+*51% / majority race*: an attacker privately extends a fork from k
+blocks back (undoing a payment).  Success = the private branch overtakes
+the public one.  With attacker hash share q < 0.5 the classic
+Nakamoto/ Rosenfeld analysis gives success probability ≈ (q/p)^k — the
+harness measures the empirical curve.
+
+*Selfish mining* (Eyal & Sirer): a miner withholds found blocks and
+releases them strategically, wasting honest work on stale branches.
+Above ~1/3 hash share (with γ=0) the selfish pool's revenue share
+exceeds its hash share.
+"""
+
+from dataclasses import dataclass
+
+
+def doublespend_success_probability(q, k):
+    """Nakamoto's closed form for the attacker catching up from k blocks
+    behind with hash share q (p = 1 − q)."""
+    if q >= 0.5:
+        return 1.0
+    p = 1.0 - q
+    return (q / p) ** k
+
+
+def simulate_doublespend(rng, q, confirmations, trials=2000, max_lead=80):
+    """Empirical catch-up race, matching Nakamoto's model exactly.
+
+    The attacker starts ``confirmations`` blocks behind; each subsequent
+    block is the attacker's with probability q.  Success = the deficit
+    ever reaches zero (the attacker has caught up, after which it
+    releases its longer-or-equal branch); abort once it falls
+    ``max_lead`` behind (the walk drifts away almost surely).  By
+    gambler's ruin the success probability is (q/p)^k — the curve
+    :func:`doublespend_success_probability` gives in closed form.
+    """
+    successes = 0
+    for _ in range(trials):
+        deficit = confirmations
+        while 0 < deficit <= max_lead:
+            if rng.random() < q:
+                deficit -= 1
+            else:
+                deficit += 1
+        if deficit <= 0:
+            successes += 1
+    return successes / trials
+
+
+@dataclass
+class SelfishMiningResult:
+    selfish_share: float
+    selfish_blocks: int
+    honest_blocks: int
+
+    @property
+    def revenue_share(self):
+        total = self.selfish_blocks + self.honest_blocks
+        return self.selfish_blocks / total if total else 0.0
+
+    @property
+    def profitable(self):
+        return self.revenue_share > self.selfish_share
+
+
+def simulate_selfish_mining(rng, q, gamma=0.0, blocks=20000):
+    """Eyal–Sirer selfish-mining Markov simulation.
+
+    ``q`` is the selfish pool's hash share; ``gamma`` the fraction of
+    honest miners that mine on the selfish block during a 1-1 tie.
+    Returns a :class:`SelfishMiningResult` with main-chain block counts.
+    """
+    private_lead = 0
+    tie = False  # a 1-1 public race is in progress
+    selfish_blocks = 0
+    honest_blocks = 0
+    for _ in range(blocks):
+        selfish_found = rng.random() < q
+        if tie:
+            # Branch race: next block decides.
+            if selfish_found:
+                selfish_blocks += 2  # its tie block + the new one
+            else:
+                if rng.random() < gamma:
+                    selfish_blocks += 1  # honest extended the selfish block
+                    honest_blocks += 1
+                else:
+                    honest_blocks += 2
+            tie = False
+            private_lead = 0
+            continue
+        if selfish_found:
+            private_lead += 1
+            continue
+        # Honest block found.
+        if private_lead == 0:
+            honest_blocks += 1
+        elif private_lead == 1:
+            tie = True  # selfish publishes its one block: public race
+        elif private_lead == 2:
+            # Selfish publishes both, overriding the honest block.
+            selfish_blocks += 2
+            private_lead = 0
+        else:
+            # Keeps a safety margin of one, publishing one block.
+            selfish_blocks += 1
+            private_lead -= 1
+    return SelfishMiningResult(q, selfish_blocks, honest_blocks)
+
+
+def majority_attack_on_network(cluster, honest_rates, attacker_rate,
+                               fork_depth, duration=6000.0,
+                               target_block_time=30.0):
+    """End-to-end 51%-style attack on the simulated mining network:
+    the attacker mines a private branch from ``fork_depth`` blocks
+    behind the public tip and publishes when longer.
+
+    Returns ``(overtook, public_height, attacker_height)``.
+    """
+    from ..crypto.hashing import HASH_SPACE
+    from .miner import Miner, run_mining_network
+
+    total = float(sum(honest_rates) + attacker_rate)
+    result = run_mining_network(
+        cluster,
+        hashrates=tuple(honest_rates),
+        target_block_time=target_block_time * total / sum(honest_rates),
+        duration=duration,
+    )
+    public = result.consensus_chain()
+    if len(public) <= fork_depth + 1:
+        return False, len(public) - 1, 0
+    fork_point = public[-(fork_depth + 1)]
+    # Attacker mines privately from the fork point: a pure race — blocks
+    # arrive with rates proportional to hashrate shares.
+    rng = cluster.sim.rng
+    q = attacker_rate / total
+    attacker_height = fork_point.height
+    public_height = public[-1].height
+    # Race for a bounded number of block events.
+    for _ in range(10 * (fork_depth + 10)):
+        if rng.random() < q:
+            attacker_height += 1
+        else:
+            public_height += 1
+        if attacker_height > public_height:
+            return True, public_height, attacker_height
+        if public_height - attacker_height > 50:
+            break
+    return False, public_height, attacker_height

@@ -1,0 +1,102 @@
+"""Blocks: header, Merkle-committed transactions, real SHA-256 PoW.
+
+The header carries exactly the fields from the slides' mining figure —
+version, previous block hash, Merkle tree root hash, timestamp, current
+target bits, nonce — and the proof of work is literally
+``SHA256(header) < target`` over a 256-bit hash space, at a laptop-scale
+target.
+"""
+
+from dataclasses import dataclass, field
+
+from ..crypto.hashing import HASH_SPACE, sha256_hex, sha256_int
+from ..crypto.merkle import MerkleTree
+
+#: Default target: 1 in 2^16 hashes succeeds — milliseconds per block on
+#: a laptop, same statistics as Bitcoin's 19-zero targets.
+DEFAULT_TARGET = HASH_SPACE >> 16
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    version: int
+    prev_hash: str
+    merkle_root: str
+    timestamp: float
+    target: int  # the 256-bit difficulty target ("current target bits")
+    nonce: int
+
+    @property
+    def hash(self):
+        return sha256_hex(self.version, self.prev_hash, self.merkle_root,
+                          self.timestamp, self.target, self.nonce)
+
+    @property
+    def hash_int(self):
+        return sha256_int(self.version, self.prev_hash, self.merkle_root,
+                          self.timestamp, self.target, self.nonce)
+
+    def meets_target(self):
+        """The proof of work: header hash below the target."""
+        return self.hash_int < self.target
+
+    def work(self):
+        """Expected hashes to find this block: HASH_SPACE / target.
+        Cumulative work decides between competing chains."""
+        return HASH_SPACE // max(self.target, 1)
+
+
+@dataclass(frozen=True)
+class PowBlock:
+    header: BlockHeader
+    transactions: tuple
+    height: int = field(default=0, compare=False)
+
+    @property
+    def hash(self):
+        return self.header.hash
+
+    def merkle_ok(self):
+        if not self.transactions:
+            return False
+        tree = MerkleTree([tx.txid for tx in self.transactions])
+        return tree.root == self.header.merkle_root
+
+
+GENESIS_PREV = "0" * 64
+
+
+def build_block(prev_hash, transactions, timestamp, target, nonce=0,
+                height=0, version=2):
+    """Assemble a block with the correct Merkle root (nonce not yet
+    searched — see :func:`mine`)."""
+    tree = MerkleTree([tx.txid for tx in transactions])
+    header = BlockHeader(version, prev_hash, tree.root, timestamp, target,
+                         nonce)
+    return PowBlock(header, tuple(transactions), height)
+
+
+def mine(block, max_attempts=1_000_000):
+    """The nonce search from the slides: increment the nonce until
+    ``SHA256(header) < target``.  Returns the solved block (or ``None``
+    if ``max_attempts`` hashes were not enough).
+
+    This is the *actual* computation — every attempt is a real SHA-256 —
+    run at small targets.  The network-scale mining *race* is modelled
+    statistically by the miners (see :mod:`repro.blockchain.miner`);
+    this function exists so tests and examples exercise the genuine
+    nonce-search loop the paper's mining-details figures walk through.
+    """
+    header = block.header
+    for nonce in range(max_attempts):
+        candidate = BlockHeader(header.version, header.prev_hash,
+                                header.merkle_root, header.timestamp,
+                                header.target, nonce)
+        if candidate.meets_target():
+            return PowBlock(candidate, block.transactions, block.height)
+    return None
+
+
+def validate_pow(block):
+    """Structural validity: proof of work + Merkle commitment."""
+    return block.header.meets_target() and block.merkle_ok()

@@ -1,0 +1,219 @@
+"""The blockchain: hash-pointer chain, forks, reorgs, retargeting.
+
+The tutorial's claims implemented here:
+
+* blocks are connected through **hash pointers**, making the ledger
+  tamper-evident (mutating any block breaks every later link);
+* mining is probabilistic → **forks**, resolved by "miners join the
+  longest chain" (implemented as Bitcoin actually does: the chain with
+  the most cumulative *work*);
+* transactions in abandoned fork branches are **aborted/resubmitted**;
+* **difficulty is adjusted every 2016 blocks** to hold the block
+  interval (parameterised so laptop runs cross several retargets);
+* the coinbase reward is **halved every 210 000 blocks** (same).
+
+Validation modes: ``pow_check=True`` verifies the real SHA-256 proof of
+work (used with :func:`repro.blockchain.block.mine` at small targets);
+``pow_check=False`` trusts the statistically-timed mining race of
+:mod:`repro.blockchain.miner` while still enforcing linkage, Merkle
+commitment, target schedule, reward schedule and transaction validity —
+the documented substitution for network-scale hash power.
+"""
+
+from ..crypto.hashing import HASH_SPACE
+from .block import DEFAULT_TARGET, GENESIS_PREV, build_block, validate_pow
+from .transactions import Ledger, block_reward, make_coinbase
+
+
+class Blockchain:
+    """A node's view of the block tree.
+
+    Parameters
+    ----------
+    initial_target:
+        PoW target for the first difficulty era.
+    target_block_time:
+        Desired seconds between blocks (virtual time).
+    retarget_interval:
+        Blocks per difficulty era (Bitcoin: 2016).
+    halving_interval:
+        Blocks per reward era (Bitcoin: 210 000).
+    pow_check:
+        Verify real SHA-256 PoW on every accepted block.
+    """
+
+    MAX_RETARGET_FACTOR = 4.0  # Bitcoin's clamp
+
+    def __init__(self, initial_target=DEFAULT_TARGET, target_block_time=600.0,
+                 retarget_interval=2016, halving_interval=210_000,
+                 initial_reward=50.0, pow_check=True, keys=None):
+        self.initial_target = initial_target
+        self.target_block_time = target_block_time
+        self.retarget_interval = retarget_interval
+        self.halving_interval = halving_interval
+        self.initial_reward = initial_reward
+        self.pow_check = pow_check
+        self.keys = keys
+
+        genesis = build_block(
+            GENESIS_PREV,
+            [make_coinbase("satoshi", initial_reward, 0)],
+            timestamp=0.0,
+            target=initial_target,
+            height=0,
+        )
+        self.genesis = genesis
+        self.blocks = {genesis.hash: genesis}
+        self._parent = {genesis.hash: None}
+        self._work = {genesis.hash: genesis.header.work()}
+        self._ledgers = {genesis.hash: self._ledger_for_genesis(genesis)}
+        self.tip = genesis.hash
+        self.reorgs = 0
+        self.rejected = 0
+
+    @staticmethod
+    def _ledger_for_genesis(genesis):
+        ledger = Ledger()
+        for tx in genesis.transactions:
+            ledger.apply(tx)
+        return ledger
+
+    # -- queries ---------------------------------------------------------------
+
+    def height_of(self, block_hash):
+        return self.blocks[block_hash].height
+
+    @property
+    def height(self):
+        return self.blocks[self.tip].height
+
+    def main_chain(self):
+        """Blocks from genesis to the tip, in height order."""
+        chain = []
+        cursor = self.tip
+        while cursor is not None:
+            chain.append(self.blocks[cursor])
+            cursor = self._parent[cursor]
+        return list(reversed(chain))
+
+    def ledger(self):
+        """The ledger at the current tip."""
+        return self._ledgers[self.tip]
+
+    def contains(self, block_hash):
+        return block_hash in self.blocks
+
+    def abandoned_blocks(self):
+        """Blocks not on the main chain — the forks' losers."""
+        on_main = {block.hash for block in self.main_chain()}
+        return [b for h, b in self.blocks.items() if h not in on_main]
+
+    def confirmations(self, block_hash):
+        """Main-chain depth of a block (0 = tip, None = abandoned)."""
+        for depth, block in enumerate(reversed(self.main_chain())):
+            if block.hash == block_hash:
+                return depth
+        return None
+
+    # -- difficulty schedule ------------------------------------------------------
+
+    def expected_target(self, parent_hash):
+        """Target for the block extending ``parent_hash``.
+
+        Retargets at era boundaries using the actual timespan of the era
+        just ended, clamped to 4× either way — Bitcoin's rule with a
+        parameterised interval.
+        """
+        parent = self.blocks[parent_hash]
+        next_height = parent.height + 1
+        if next_height % self.retarget_interval != 0:
+            return parent.header.target
+        # Walk back one full era.
+        cursor = parent
+        for _ in range(self.retarget_interval - 1):
+            prev_hash = self._parent[cursor.hash]
+            if prev_hash is None:
+                break
+            cursor = self.blocks[prev_hash]
+        actual = max(parent.header.timestamp - cursor.header.timestamp, 1e-9)
+        expected = self.target_block_time * (self.retarget_interval - 1)
+        ratio = actual / expected
+        ratio = min(max(ratio, 1.0 / self.MAX_RETARGET_FACTOR),
+                    self.MAX_RETARGET_FACTOR)
+        new_target = int(parent.header.target * ratio)
+        return max(1, min(new_target, HASH_SPACE - 1))
+
+    def reward_at(self, height):
+        return block_reward(height, self.initial_reward, self.halving_interval)
+
+    # -- extension ---------------------------------------------------------------
+
+    def validate_block(self, block):
+        """Full validation against this chain's view.  Returns an error
+        string or ``None``."""
+        parent_hash = block.header.prev_hash
+        if parent_hash not in self.blocks:
+            return "unknown parent"
+        parent = self.blocks[parent_hash]
+        if block.height != parent.height + 1:
+            return "wrong height"
+        if block.header.target != self.expected_target(parent_hash):
+            return "wrong target"
+        if self.pow_check and not validate_pow(block):
+            return "invalid proof of work"
+        if not block.merkle_ok():
+            return "merkle root mismatch"
+        if not block.transactions or not block.transactions[0].is_coinbase:
+            return "missing coinbase"
+        coinbase = block.transactions[0]
+        if coinbase.amount > self.reward_at(block.height) + 1e-9:
+            return "excessive reward"
+        ledger = self._ledgers[parent_hash].copy()
+        for tx in block.transactions:
+            if not tx.is_coinbase and self.keys is not None:
+                from .transactions import verify_transaction
+                if not verify_transaction(self.keys, tx):
+                    return "bad signature"
+            if not ledger.can_apply(tx):
+                return "invalid transaction"
+            ledger.apply(tx)
+        self._pending_ledger = ledger
+        return None
+
+    def add_block(self, block):
+        """Validate and insert; returns True and updates the tip if the
+        new branch carries the most work."""
+        if block.hash in self.blocks:
+            return False
+        error = self.validate_block(block)
+        if error is not None:
+            self.rejected += 1
+            return False
+        parent_hash = block.header.prev_hash
+        self.blocks[block.hash] = block
+        self._parent[block.hash] = parent_hash
+        self._work[block.hash] = self._work[parent_hash] + block.header.work()
+        self._ledgers[block.hash] = self._pending_ledger
+        del self._pending_ledger
+        if self._work[block.hash] > self._work[self.tip]:
+            if self._parent[block.hash] != self.tip:
+                self.reorgs += 1
+            self.tip = block.hash
+            return True
+        return True
+
+    # -- convenience ----------------------------------------------------------------
+
+    def next_block(self, miner, transactions=(), timestamp=None, nonce=0):
+        """Assemble (not mine) the next block on the current tip, with
+        the correct coinbase, height and target."""
+        height = self.height + 1
+        coinbase = make_coinbase(miner, self.reward_at(height), height)
+        return build_block(
+            self.tip,
+            [coinbase] + list(transactions),
+            timestamp=timestamp if timestamp is not None else float(height),
+            target=self.expected_target(self.tip),
+            nonce=nonce,
+            height=height,
+        )

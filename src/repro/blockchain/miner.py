@@ -1,0 +1,286 @@
+"""Miners: the network-scale mining race over a gossip overlay.
+
+A real miner performs ~10²⁰ hashes per block; simulating each hash is
+impossible and unnecessary — finding a PoW solution is a Poisson
+process, so the *time to next block* for a miner with hashrate h and
+target T is exponential with rate ``h · T / 2²⁵⁶``.  Each miner samples
+that race; the winner assembles a block on its current tip and gossips
+it.  Everything downstream of the race — forks when propagation delay
+is comparable to the block interval, longest-(most-work)-chain
+convergence, abandoned transactions, centralization of rewards in
+proportion to hash share — emerges from the model, which is exactly the
+behaviour E15 measures.  (The genuine nonce-search loop lives in
+:func:`repro.blockchain.block.mine` and is unit-tested separately.)
+"""
+
+from dataclasses import dataclass
+
+from ..core.node import Node
+from ..crypto.hashing import HASH_SPACE
+from ..net.message import Message
+from .block import build_block
+from .chain import Blockchain
+from .transactions import make_coinbase
+
+
+@dataclass(frozen=True)
+class BlockAnnounce(Message):
+    block: object
+
+    def size_estimate(self):
+        return 80 + 32 * len(self.block.transactions)
+
+
+@dataclass(frozen=True)
+class TxAnnounce(Message):
+    tx: object
+
+
+@dataclass(frozen=True)
+class BlockRequest(Message):
+    """Sync: 'send me the block with this hash' — issued when an
+    announced block's parent is unknown (the requester walks the chain
+    backwards until it reconnects)."""
+
+    block_hash: str
+
+
+@dataclass(frozen=True)
+class BlockResponse(Message):
+    block: object
+
+    def size_estimate(self):
+        return 80 + 32 * len(self.block.transactions)
+
+
+class Miner(Node):
+    """A mining node: maintains its own chain replica, races for blocks,
+    gossips announcements.
+
+    Parameters
+    ----------
+    hashrate:
+        Hashes per virtual-time unit.
+    chain_params:
+        Keyword arguments for this miner's :class:`Blockchain` replica
+        (``pow_check`` defaults to False here — see the module docstring).
+    """
+
+    def __init__(self, sim, network, name, peers, hashrate, chain_params=None):
+        super().__init__(sim, network, name)
+        self.peers = [p for p in peers if p != name]
+        self.hashrate = hashrate
+        params = dict(chain_params or {})
+        params.setdefault("pow_check", False)
+        self.chain = Blockchain(**params)
+        self.mempool = {}
+        self.blocks_mined = 0
+        self._mining_on = None
+        self._mine_event = None
+        self._orphans = {}  # parent_hash -> [blocks waiting for it]
+
+    def on_start(self):
+        self._restart_race()
+
+    def on_restart(self):
+        # A recovered miner resumes the race on its (stale) tip and
+        # catches up through the sync path as announcements arrive.
+        self._restart_race()
+
+    # -- the race ---------------------------------------------------------------
+
+    def _race_rate(self):
+        target = self.chain.expected_target(self.chain.tip)
+        return self.hashrate * target / HASH_SPACE
+
+    def _restart_race(self):
+        if self._mine_event is not None:
+            self._mine_event.cancel()
+        if self.hashrate <= 0 or self.crashed:
+            return
+        self._mining_on = self.chain.tip
+        delay = self.sim.rng.expovariate(self._race_rate())
+        self._mine_event = self.sim.schedule(delay, self._found_block)
+
+    def _found_block(self):
+        if self.crashed or self.chain.tip != self._mining_on:
+            return  # stale; a restart is already scheduled
+        height = self.chain.height + 1
+        coinbase = make_coinbase(self.name, self.chain.reward_at(height),
+                                 height)
+        transactions = [coinbase]
+        ledger = self.chain.ledger().copy()
+        for txid, tx in sorted(self.mempool.items()):
+            if ledger.can_apply(tx):
+                ledger.apply(tx)
+                transactions.append(tx)
+        block = build_block(
+            self.chain.tip,
+            transactions,
+            timestamp=self.sim.now,
+            target=self.chain.expected_target(self.chain.tip),
+            height=height,
+        )
+        if self.chain.add_block(block):
+            self.blocks_mined += 1
+            self._drop_confirmed(block)
+            announce = BlockAnnounce(block)
+            for peer in self.peers:
+                self.send(peer, announce)
+        self._restart_race()
+
+    # -- gossip -----------------------------------------------------------------
+
+    def handle_blockannounce(self, msg, src):
+        self._ingest_block(msg.block, src)
+
+    def handle_blockresponse(self, msg, src):
+        self._ingest_block(msg.block, src)
+
+    def handle_blockrequest(self, msg, src):
+        block = self.chain.blocks.get(msg.block_hash)
+        if block is not None:
+            self.send(src, BlockResponse(block))
+
+    def _ingest_block(self, block, src):
+        if self.chain.contains(block.hash):
+            return
+        parent = block.header.prev_hash
+        if not self.chain.contains(parent):
+            # Orphan: park it and walk backwards until we reconnect.
+            waiting = self._orphans.setdefault(parent, [])
+            if all(b.hash != block.hash for b in waiting):
+                waiting.append(block)
+                self.send(src, BlockRequest(parent))
+            return
+        old_tip = self.chain.tip
+        if self.chain.add_block(block):
+            self._drop_confirmed(block)
+            # Relay to the rest of the overlay (flooding).
+            announce = BlockAnnounce(block)
+            for peer in self.peers:
+                if peer != src:
+                    self.send(peer, announce)
+            self._connect_orphans(block.hash, src)
+            if self.chain.tip != old_tip:
+                # "Miners join the longest chain to resolve forks."
+                self._restart_race()
+
+    def _connect_orphans(self, parent_hash, src):
+        """Attach any parked descendants of a freshly connected block."""
+        queue = [parent_hash]
+        while queue:
+            current = queue.pop()
+            for orphan in self._orphans.pop(current, []):
+                old_tip = self.chain.tip
+                if self.chain.add_block(orphan):
+                    self._drop_confirmed(orphan)
+                    announce = BlockAnnounce(orphan)
+                    for peer in self.peers:
+                        if peer != src:
+                            self.send(peer, announce)
+                    queue.append(orphan.hash)
+                    if self.chain.tip != old_tip:
+                        self._restart_race()
+
+    def handle_txannounce(self, msg, src):
+        if msg.tx.txid in self.mempool:
+            return
+        self.mempool[msg.tx.txid] = msg.tx
+        for peer in self.peers:
+            if peer != src:
+                self.send(peer, msg)
+
+    def submit_transaction(self, tx):
+        """Local wallet entry point: accept and gossip a transaction."""
+        self.handle_txannounce(TxAnnounce(tx), self.name)
+
+    def _drop_confirmed(self, block):
+        for tx in block.transactions:
+            self.mempool.pop(tx.txid, None)
+
+
+@dataclass
+class MiningResult:
+    miners: list
+    duration: float
+    messages: int
+
+    def consensus_chain(self):
+        """The main chain of the miner with the greatest height (after a
+        settle period, all honest miners agree on a common prefix)."""
+        best = max(self.miners, key=lambda m: m.chain.height)
+        return best.chain.main_chain()
+
+    def common_prefix_height(self):
+        """Height up to which every miner's main chain agrees."""
+        chains = [m.chain.main_chain() for m in self.miners]
+        shortest = min(len(c) for c in chains)
+        agree = 0
+        for i in range(shortest):
+            hashes = {chain[i].hash for chain in chains}
+            if len(hashes) > 1:
+                break
+            agree = i + 1
+        return agree - 1  # height of the last agreed block
+
+    def fork_stats(self):
+        """(total main-chain blocks, abandoned blocks, fork rate)."""
+        best = max(self.miners, key=lambda m: m.chain.height)
+        main = best.chain.height
+        abandoned = len(best.chain.abandoned_blocks())
+        total = main + abandoned
+        return main, abandoned, (abandoned / total if total else 0.0)
+
+    def blocks_by_miner(self):
+        """Main-chain block counts per coinbase recipient — the
+        centralization measurement (hash share → block share)."""
+        counts = {}
+        for block in self.consensus_chain()[1:]:
+            miner = block.transactions[0].recipient
+            counts[miner] = counts.get(miner, 0) + 1
+        return counts
+
+
+def run_mining_network(
+    cluster,
+    hashrates=(100.0, 100.0, 100.0, 100.0),
+    target_block_time=60.0,
+    duration=6000.0,
+    retarget_interval=2016,
+    halving_interval=210_000,
+    transactions_per_interval=0.0,
+):
+    """Run a PoW mining network for ``duration`` virtual seconds.
+
+    The initial target is derived from the aggregate hashrate so the
+    expected block interval equals ``target_block_time`` from the start.
+    """
+    total_rate = float(sum(hashrates))
+    initial_target = int(HASH_SPACE / (total_rate * target_block_time))
+    names = ["m%d" % i for i in range(len(hashrates))]
+    params = {
+        "initial_target": initial_target,
+        "target_block_time": target_block_time,
+        "retarget_interval": retarget_interval,
+        "halving_interval": halving_interval,
+        "pow_check": False,
+    }
+    miners = [
+        cluster.add_node(Miner, name, names, rate, chain_params=params)
+        for name, rate in zip(names, hashrates)
+    ]
+    cluster.start_all()
+    cluster.run(until=duration)
+    # Settle: stop the races and let announcements drain so every miner
+    # converges on the common prefix.
+    for miner in miners:
+        miner.hashrate = 0.0
+        if miner._mine_event is not None:
+            miner._mine_event.cancel()
+    cluster.run(until=duration + 1000.0)
+    return MiningResult(
+        miners=miners,
+        duration=cluster.now,
+        messages=cluster.metrics.messages_total,
+    )

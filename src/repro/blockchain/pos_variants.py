@@ -1,0 +1,95 @@
+"""More consensus-variant selectors from the tutorial's "zoo" slide.
+
+The deck's variants figure lists a family tree around PoS; this module
+implements the two with crisp mechanisms:
+
+* **Delegated Proof of Stake (DPoS)** — "users with more coins will get
+  to vote and elect witnesses": stakeholders cast stake-weighted votes
+  for delegate candidates; the top-k become the witness set and produce
+  blocks round-robin.  Block share concentrates on elected witnesses
+  regardless of their own stake.
+* **Proof of Authority (PoA)** — a fixed, permissioned authority set
+  produces blocks round-robin ("a single validator can bundle proposed
+  transactions and create a new block"); the degenerate-but-ubiquitous
+  sidechain/testnet mode.
+
+Both reuse the PoS result shape so the E16-family benches compare the
+three selection disciplines side by side.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DposResult:
+    witnesses: list
+    blocks_by: dict
+    votes_by_candidate: dict
+
+    def share_of(self, name):
+        total = sum(self.blocks_by.values())
+        return self.blocks_by.get(name, 0) / total if total else 0.0
+
+
+def elect_witnesses(stakes, votes, k):
+    """Stake-weighted approval election.
+
+    ``votes`` maps voter -> iterable of approved candidates; each
+    approval carries the voter's full stake.  Top-k candidates by
+    approved stake (ties broken lexicographically) become witnesses.
+    """
+    weight = {}
+    for voter, candidates in votes.items():
+        stake = stakes.get(voter, 0.0)
+        for candidate in candidates:
+            weight[candidate] = weight.get(candidate, 0.0) + stake
+    ranked = sorted(weight.items(), key=lambda item: (-item[1], item[0]))
+    return [candidate for candidate, _w in ranked[:k]], weight
+
+
+def run_dpos(stakes, votes, k, blocks=100):
+    """Elect k witnesses, then produce ``blocks`` blocks round-robin."""
+    if k < 1:
+        raise ValueError("need at least one witness")
+    witnesses, weight = elect_witnesses(stakes, votes, k)
+    if not witnesses:
+        raise ValueError("no candidate received any vote")
+    blocks_by = {}
+    for height in range(blocks):
+        producer = witnesses[height % len(witnesses)]
+        blocks_by[producer] = blocks_by.get(producer, 0) + 1
+    return DposResult(witnesses=witnesses, blocks_by=blocks_by,
+                      votes_by_candidate=weight)
+
+
+@dataclass
+class PoaResult:
+    authorities: list
+    blocks_by: dict = field(default_factory=dict)
+    skipped: int = 0
+
+    def share_of(self, name):
+        total = sum(self.blocks_by.values())
+        return self.blocks_by.get(name, 0) / total if total else 0.0
+
+
+def run_poa(authorities, blocks=100, offline=()):
+    """Round-robin authority block production; offline authorities'
+    slots are skipped (their successors take them, Clique-style)."""
+    authorities = list(authorities)
+    if not authorities:
+        raise ValueError("need at least one authority")
+    offline = set(offline)
+    result = PoaResult(authorities=authorities)
+    for height in range(blocks):
+        for step in range(len(authorities)):
+            producer = authorities[(height + step) % len(authorities)]
+            if producer not in offline:
+                result.blocks_by[producer] = \
+                    result.blocks_by.get(producer, 0) + 1
+                if step:
+                    result.skipped += 1
+                break
+        else:
+            raise ValueError("every authority is offline")
+    return result

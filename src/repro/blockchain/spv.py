@@ -1,0 +1,107 @@
+"""SPV light clients — addressing PoW's "suboptimal light client
+support".
+
+A light client stores only block *headers* (80-ish bytes each instead
+of full blocks) and verifies:
+
+* **header-chain validity** — hash pointers link, every header meets
+  its own proof-of-work target;
+* **transaction inclusion** — a Merkle audit path from a full node ties
+  a transaction id to a header's Merkle root, with confirmation depth
+  taken from the header chain.
+
+The client trusts proof-of-work, not the serving node: a full node can
+*withhold* information but cannot fabricate an inclusion proof or a
+heavier header chain without doing the work.
+"""
+
+from dataclasses import dataclass
+
+from ..crypto.merkle import MerkleTree
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """What a full node hands a light client: the txid, the height and
+    header hash of the containing block, and the Merkle path."""
+
+    txid: str
+    height: int
+    header_hash: str
+    merkle_path: tuple  # ((sibling_hash, is_right), ...)
+
+
+def build_inclusion_proof(chain, txid):
+    """Full-node side: produce an :class:`InclusionProof` for ``txid``
+    from the main chain, or None if unconfirmed."""
+    for block in chain.main_chain():
+        ids = [tx.txid for tx in block.transactions]
+        if txid in ids:
+            index = ids.index(txid)
+            tree = MerkleTree(ids)
+            return InclusionProof(txid, block.height, block.hash,
+                                  tuple(tree.proof(index)))
+    return None
+
+
+class LightClient:
+    """Header-only chain follower.
+
+    Feed it headers with :meth:`add_header`; it keeps the valid chain
+    and answers inclusion queries against proofs from full nodes.
+    """
+
+    def __init__(self, genesis_header, check_pow=True):
+        self.headers = [genesis_header]
+        self._index = {genesis_header.hash: 0}
+        self.check_pow = check_pow
+        self.rejected = 0
+
+    @property
+    def height(self):
+        return len(self.headers) - 1
+
+    @property
+    def tip(self):
+        return self.headers[-1]
+
+    def add_header(self, header):
+        """Append a header extending the tip.  Returns True on accept."""
+        if header.prev_hash != self.tip.hash:
+            self.rejected += 1
+            return False
+        if self.check_pow and not header.meets_target():
+            self.rejected += 1
+            return False
+        self.headers.append(header)
+        self._index[header.hash] = len(self.headers) - 1
+        return True
+
+    def sync_from(self, chain):
+        """Pull every main-chain header from a full node's chain."""
+        added = 0
+        for block in chain.main_chain()[1:]:
+            if block.header.prev_hash == self.tip.hash:
+                if self.add_header(block.header):
+                    added += 1
+        return added
+
+    def storage_headers_bytes(self):
+        """Approximate light-client storage: 80 bytes per header."""
+        return 80 * len(self.headers)
+
+    def verify_inclusion(self, proof, min_confirmations=0):
+        """Check an :class:`InclusionProof` against the local header
+        chain.  Returns the confirmation depth, or None if invalid or
+        too shallow."""
+        position = self._index.get(proof.header_hash)
+        if position is None or position != proof.height:
+            return None
+        header = self.headers[position]
+        if not MerkleTree.verify(proof.txid, list(proof.merkle_path),
+                                 header.merkle_root):
+            return None
+        confirmations = self.height - proof.height
+        if confirmations < min_confirmations:
+            return None
+        return confirmations

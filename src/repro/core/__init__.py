@@ -1,0 +1,68 @@
+"""Core abstractions: ballots, quorums, taxonomy, C&C framework, nodes."""
+
+from .ballot import Ballot
+from .cluster import Cluster
+from .exceptions import (
+    ConfigurationError,
+    LivenessFailure,
+    ProtocolError,
+    SafetyViolation,
+)
+from .framework import (
+    CCDecomposition,
+    CCPhase,
+    CCTrace,
+    PAXOS_DECOMPOSITION,
+    PHASE_ORDER,
+    THREE_PC_DECOMPOSITION,
+    TWO_PC_DECOMPOSITION,
+)
+from .node import Node
+from .quorums import (
+    ByzantineQuorum,
+    FlexibleQuorum,
+    GridQuorum,
+    HybridQuorum,
+    MajorityQuorum,
+    QuorumSystem,
+    bft_minimum_nodes,
+    crash_minimum_nodes,
+    hybrid_minimum_nodes,
+)
+from .registry import all_profiles, get_profile, profile_names, register_profile
+from .taxonomy import Awareness, FailureModel, ProtocolProfile, Strategy, Synchrony
+
+__all__ = [
+    "Awareness",
+    "Ballot",
+    "ByzantineQuorum",
+    "CCDecomposition",
+    "CCPhase",
+    "CCTrace",
+    "Cluster",
+    "ConfigurationError",
+    "FailureModel",
+    "FlexibleQuorum",
+    "GridQuorum",
+    "HybridQuorum",
+    "LivenessFailure",
+    "MajorityQuorum",
+    "Node",
+    "PAXOS_DECOMPOSITION",
+    "PHASE_ORDER",
+    "ProtocolError",
+    "ProtocolProfile",
+    "QuorumSystem",
+    "SafetyViolation",
+    "Strategy",
+    "Synchrony",
+    "THREE_PC_DECOMPOSITION",
+    "TWO_PC_DECOMPOSITION",
+    "all_profiles",
+    "bft_minimum_nodes",
+    "crash_minimum_nodes",
+    "get_profile",
+    "hybrid_minimum_nodes",
+    "profile_names",
+    "register_profile",
+]

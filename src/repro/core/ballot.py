@@ -1,0 +1,40 @@
+"""Ballots — the totally ordered (number, process id) pairs Paxos runs on.
+
+The paper: ballots are "pairs <num, process id> that form a total order";
+``<n1,p1> > <n2,p2>`` iff ``n1 > n2`` or (``n1 == n2`` and ``p1 > p2``);
+and "if latest known ballot is <n, q> then p chooses <n+1, p>".
+"""
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Ballot:
+    """A Paxos ballot: unique, locally monotonically increasing."""
+
+    number: int
+    pid: str
+
+    #: The initial ballot every acceptor starts below: <0, "">.
+    ZERO = None  # set below class body
+
+    def successor(self, pid):
+        """The ballot process ``pid`` chooses after seeing this one:
+        <number + 1, pid>."""
+        return Ballot(self.number + 1, pid)
+
+    def _key(self):
+        return (self.number, self.pid)
+
+    def __lt__(self, other):
+        if not isinstance(other, Ballot):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __repr__(self):
+        return "<%d,%s>" % (self.number, self.pid)
+
+
+Ballot.ZERO = Ballot(0, "")

@@ -1,0 +1,65 @@
+"""Node base class: a process attached to a network with typed dispatch.
+
+Incoming messages are dispatched to ``handle_<mtype>(msg, src)`` methods
+by the message's type name, so protocol classes read like the paper's
+pseudo-code ("upon receive (prepare, bal) from i ...").
+"""
+
+from ..sim.process import Process
+
+
+class Node(Process):
+    """A network-attached simulated process.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    network:
+        The :class:`~repro.net.Network`; the node registers itself.
+    name:
+        Unique node name.
+    """
+
+    def __init__(self, sim, network, name):
+        super().__init__(sim, name)
+        self.network = network
+        network.register(self)
+
+    # -- sending -------------------------------------------------------
+
+    def send(self, dst, message):
+        """Unicast; a crashed node sends nothing."""
+        if self.crashed:
+            return False
+        return self.network.send(self.name, dst, message)
+
+    def broadcast(self, message, include_self=False):
+        """Send to every node on the network (as independent unicasts)."""
+        if self.crashed:
+            return 0
+        return self.network.broadcast(self.name, message, include_self)
+
+    def multicast(self, dsts, message):
+        """Unicast to each destination in ``dsts``."""
+        if self.crashed:
+            return 0
+        return self.network.multicast(self.name, dsts, message)
+
+    # -- receiving -----------------------------------------------------
+
+    def deliver(self, message, src):
+        """Entry point called by the network.  Dispatches to
+        ``handle_<mtype>``; unknown types fall through to
+        :meth:`on_unhandled`."""
+        if self.crashed:
+            return
+        handler = getattr(self, "handle_%s" % message.mtype, None)
+        if handler is None:
+            self.on_unhandled(message, src)
+        else:
+            handler(message, src)
+
+    def on_unhandled(self, message, src):
+        """Hook for messages with no matching handler.  Default: ignore —
+        protocols routinely receive stale messages from old phases."""

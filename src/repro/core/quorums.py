@@ -1,0 +1,264 @@
+"""Quorum systems.
+
+The paper's safety condition: "any two sets (quorums) of acceptors must
+have at least one overlapping acceptor".  Flexible Paxos relaxes this —
+only *phase-1* (leader election) quorums and *phase-2* (replication)
+quorums must intersect, letting replication quorums shrink below a
+majority.  BFT protocols need a stronger overlap: any two quorums must
+intersect in at least f+1 nodes so the intersection contains a correct
+replica.
+
+Each quorum system answers two questions: "is this set of acks a valid
+phase-i quorum?" and "what's the minimum quorum size?".  They also carry
+self-check methods the property tests exercise exhaustively.
+"""
+
+from itertools import combinations
+
+
+class QuorumSystem:
+    """Base interface: phase-1 (election/prepare) and phase-2
+    (replication/accept) quorum predicates over node-name sets."""
+
+    def __init__(self, members):
+        self.members = frozenset(members)
+        if not self.members:
+            raise ValueError("a quorum system needs at least one member")
+
+    @property
+    def n(self):
+        return len(self.members)
+
+    def is_phase1_quorum(self, nodes):
+        raise NotImplementedError
+
+    def is_phase2_quorum(self, nodes):
+        raise NotImplementedError
+
+    def phase1_size(self):
+        """Minimum phase-1 quorum cardinality."""
+        raise NotImplementedError
+
+    def phase2_size(self):
+        """Minimum phase-2 quorum cardinality."""
+        raise NotImplementedError
+
+    def _validate(self, nodes):
+        nodes = frozenset(nodes)
+        if not nodes <= self.members:
+            raise ValueError("quorum check with non-member nodes %r"
+                             % (nodes - self.members,))
+        return nodes
+
+    def intersection_guaranteed(self, sample_limit=None):
+        """Exhaustively check that every phase-1 quorum intersects every
+        phase-2 quorum.  Exponential — intended for tests at small n."""
+        members = sorted(self.members)
+        subsets = []
+        for size in range(1, len(members) + 1):
+            subsets.extend(frozenset(c) for c in combinations(members, size))
+            if sample_limit is not None and len(subsets) > sample_limit:
+                break
+        phase1 = [s for s in subsets if self.is_phase1_quorum(s)]
+        phase2 = [s for s in subsets if self.is_phase2_quorum(s)]
+        return all(q1 & q2 for q1 in phase1 for q2 in phase2)
+
+
+class MajorityQuorum(QuorumSystem):
+    """Classic Paxos: any strict majority, for both phases.
+
+    With n = 2f+1 this tolerates f crash failures; any two majorities
+    overlap in at least one node.
+    """
+
+    def _majority(self):
+        return self.n // 2 + 1
+
+    def is_phase1_quorum(self, nodes):
+        return len(self._validate(nodes)) >= self._majority()
+
+    is_phase2_quorum = is_phase1_quorum
+
+    def phase1_size(self):
+        return self._majority()
+
+    phase2_size = phase1_size
+
+    def max_crash_faults(self):
+        """f such that n = 2f+1 keeps a live majority."""
+        return (self.n - 1) // 2
+
+
+class FlexibleQuorum(QuorumSystem):
+    """Flexible Paxos: counts-based Q1/Q2 with |Q1| + |Q2| > n.
+
+    The generalised quorum condition from Howard, Malkhi & Spiegelman:
+    only leader-election quorums and replication quorums must intersect,
+    so |Q1| + |Q2| > n suffices and the two sizes may differ arbitrarily.
+    "Arbitrarily small replication quorums as long as Leader Election
+    Quorums intersect with every Replication Quorum."
+    """
+
+    def __init__(self, members, q1_size, q2_size):
+        super().__init__(members)
+        if q1_size + q2_size <= self.n:
+            raise ValueError(
+                "flexible quorums need |Q1| + |Q2| > n "
+                "(got %d + %d <= %d)" % (q1_size, q2_size, self.n)
+            )
+        if not (1 <= q1_size <= self.n and 1 <= q2_size <= self.n):
+            raise ValueError("quorum sizes must be within [1, n]")
+        self.q1_size = q1_size
+        self.q2_size = q2_size
+
+    def is_phase1_quorum(self, nodes):
+        return len(self._validate(nodes)) >= self.q1_size
+
+    def is_phase2_quorum(self, nodes):
+        return len(self._validate(nodes)) >= self.q2_size
+
+    def phase1_size(self):
+        return self.q1_size
+
+    def phase2_size(self):
+        return self.q2_size
+
+
+class GridQuorum(QuorumSystem):
+    """Grid quorums: nodes arranged rows × cols; phase-2 quorum = one
+    full row, phase-1 quorum = one full column plus one full row... no —
+    a full *column* of row-representatives.
+
+    Concretely (the standard FPaxos example): Q2 = all nodes of some
+    row; Q1 = one node from every row (a "column" in the logical grid).
+    Every Q1 then intersects every Q2 while |Q2| = cols can be far below
+    a majority of n = rows × cols.
+    """
+
+    def __init__(self, rows, cols, name_of=None):
+        if rows < 1 or cols < 1:
+            raise ValueError("grid needs positive dimensions")
+        if name_of is None:
+            name_of = lambda r, c: "n%d_%d" % (r, c)
+        self.rows = rows
+        self.cols = cols
+        self.grid = [
+            [name_of(r, c) for c in range(cols)] for r in range(rows)
+        ]
+        super().__init__(name for row in self.grid for name in row)
+        self._row_sets = [frozenset(row) for row in self.grid]
+
+    def is_phase2_quorum(self, nodes):
+        nodes = self._validate(nodes)
+        return any(row <= nodes for row in self._row_sets)
+
+    def is_phase1_quorum(self, nodes):
+        nodes = self._validate(nodes)
+        return all(row & nodes for row in self._row_sets)
+
+    def phase1_size(self):
+        return self.rows
+
+    def phase2_size(self):
+        return self.cols
+
+    def row(self, r):
+        """The node names of row ``r`` — a minimal replication quorum."""
+        return list(self.grid[r])
+
+    def column(self, c):
+        """The node names of column ``c`` — a minimal election quorum."""
+        return [self.grid[r][c] for r in range(self.rows)]
+
+
+class ByzantineQuorum(QuorumSystem):
+    """BFT quorums: n = 3f+1, quorum = 2f+1, intersection >= f+1.
+
+    The paper's argument: Q1 + Q2 > N + f forces any two quorums to
+    overlap in more than f nodes, so at least one member of the overlap
+    is correct.
+    """
+
+    def __init__(self, members, f=None):
+        super().__init__(members)
+        if f is None:
+            f = (self.n - 1) // 3
+        if self.n < 3 * f + 1:
+            raise ValueError(
+                "Byzantine quorums need n >= 3f+1 (n=%d, f=%d)" % (self.n, f)
+            )
+        self.f = f
+
+    def quorum_size(self):
+        return 2 * self.f + 1
+
+    def is_phase1_quorum(self, nodes):
+        return len(self._validate(nodes)) >= self.quorum_size()
+
+    is_phase2_quorum = is_phase1_quorum
+
+    def phase1_size(self):
+        return self.quorum_size()
+
+    phase2_size = phase1_size
+
+    def min_intersection(self):
+        """Worst-case overlap of two quorums: 2·(2f+1) − n = f+1 at
+        n = 3f+1."""
+        return 2 * self.quorum_size() - self.n
+
+    def weak_certificate_size(self):
+        """f+1 matching messages: guaranteed to include one correct node."""
+        return self.f + 1
+
+
+class HybridQuorum(QuorumSystem):
+    """UpRight/SeeMoRe quorums: tolerate m Byzantine and c crash faults.
+
+    n = 3m + 2c + 1, quorum u = 2m + c + 1, any two quorums intersect in
+    2u − n = m + 1 nodes — at least one of which is correct.
+    """
+
+    def __init__(self, members, m, c):
+        super().__init__(members)
+        if m < 0 or c < 0:
+            raise ValueError("fault counts must be non-negative")
+        required = 3 * m + 2 * c + 1
+        if self.n < required:
+            raise ValueError(
+                "hybrid quorums need n >= 3m+2c+1 (n=%d, m=%d, c=%d)"
+                % (self.n, m, c)
+            )
+        self.m = m
+        self.c = c
+
+    def quorum_size(self):
+        return 2 * self.m + self.c + 1
+
+    def is_phase1_quorum(self, nodes):
+        return len(self._validate(nodes)) >= self.quorum_size()
+
+    is_phase2_quorum = is_phase1_quorum
+
+    def phase1_size(self):
+        return self.quorum_size()
+
+    phase2_size = phase1_size
+
+    def min_intersection(self):
+        return 2 * self.quorum_size() - self.n
+
+
+def bft_minimum_nodes(f):
+    """The Pease–Shostak–Lamport bound: n >= 3f+1."""
+    return 3 * f + 1
+
+
+def crash_minimum_nodes(f):
+    """Majority-quorum bound for crash faults: n >= 2f+1."""
+    return 2 * f + 1
+
+
+def hybrid_minimum_nodes(m, c):
+    """UpRight's bound for m Byzantine plus c crash faults."""
+    return 3 * m + 2 * c + 1

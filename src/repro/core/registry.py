@@ -1,0 +1,31 @@
+"""Protocol registry.
+
+Protocol modules register their :class:`~repro.core.taxonomy.ProtocolProfile`
+here; the analysis layer renders the comparison table (experiment E1)
+from the registry, so adding a protocol automatically adds its row.
+"""
+
+_PROFILES = {}
+
+
+def register_profile(profile):
+    """Register a protocol's property box.  Re-registration with an equal
+    profile is idempotent; conflicting re-registration is an error."""
+    existing = _PROFILES.get(profile.name)
+    if existing is not None and existing != profile:
+        raise ValueError("conflicting profile for %r" % (profile.name,))
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+def get_profile(name):
+    return _PROFILES[name]
+
+
+def all_profiles():
+    """All registered profiles, sorted by protocol name."""
+    return [_PROFILES[name] for name in sorted(_PROFILES)]
+
+
+def profile_names():
+    return sorted(_PROFILES)

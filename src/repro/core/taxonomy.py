@@ -1,0 +1,77 @@
+"""The tutorial's five-aspect taxonomy of consensus protocols.
+
+Every protocol slide carries a property box choosing one value per
+aspect: synchrony mode, failure model, processing strategy, participant
+awareness, and the complexity metrics (nodes / phases / messages).
+:class:`ProtocolProfile` is that box as data; each protocol module
+exports its profile and the E1 experiment checks measured behaviour
+against it.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class Synchrony(enum.Enum):
+    """First aspect: synchrony mode."""
+
+    SYNCHRONOUS = "synchronous"
+    ASYNCHRONOUS = "asynchronous"
+    PARTIALLY_SYNCHRONOUS = "partially-synchronous"
+
+
+class FailureModel(enum.Enum):
+    """Second aspect: failure model."""
+
+    CRASH = "crash"
+    BYZANTINE = "byzantine"
+    HYBRID = "hybrid"
+
+
+class Strategy(enum.Enum):
+    """Third aspect: processing strategy."""
+
+    PESSIMISTIC = "pessimistic"
+    OPTIMISTIC = "optimistic"
+
+
+class Awareness(enum.Enum):
+    """Fourth aspect: participant awareness."""
+
+    KNOWN = "known"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ProtocolProfile:
+    """One protocol's property box from the slides.
+
+    ``nodes_formula`` is a callable mapping fault counts to the minimum
+    cluster size (e.g. ``lambda f: 2*f + 1``); ``nodes_label`` is the
+    human-readable formula shown in tables.  ``phases`` counts the
+    normal-case communication phases; ``complexity`` is the paper's
+    asymptotic message complexity as a string.
+    """
+
+    name: str
+    synchrony: Synchrony
+    failure_model: FailureModel
+    strategy: Strategy
+    awareness: Awareness
+    nodes_label: str
+    phases: int
+    complexity: str
+    notes: str = ""
+
+    def as_row(self):
+        """Render as the comparison-table row used in E1 and the docs."""
+        return {
+            "protocol": self.name,
+            "synchrony": self.synchrony.value,
+            "failure": self.failure_model.value,
+            "strategy": self.strategy.value,
+            "awareness": self.awareness.value,
+            "nodes": self.nodes_label,
+            "phases": self.phases,
+            "complexity": self.complexity,
+        }

@@ -1,0 +1,34 @@
+"""Simulated cryptographic substrate.
+
+Signatures and MACs (:mod:`signatures`), (k,n)-threshold signatures for
+HotStuff (:mod:`threshold`), the MinBFT/CheapBFT trusted USIG counter
+(:mod:`usig`), real-SHA-256 hashing with canonical encoding
+(:mod:`hashing`) and Bitcoin-style Merkle trees (:mod:`merkle`).
+
+See DESIGN.md's substitution table for why HMAC-based simulation
+preserves every property the protocols rely on.
+"""
+
+from .hashing import HASH_SPACE, canonical_bytes, sha256_hex, sha256_int
+from .merkle import MerkleTree
+from .signatures import KeyRegistry, Signature, Signer
+from .threshold import PartialSignature, ThresholdScheme, ThresholdSignature
+from .usig import UI, Usig, UsigAuthority, UsigLogChecker
+
+__all__ = [
+    "HASH_SPACE",
+    "KeyRegistry",
+    "MerkleTree",
+    "PartialSignature",
+    "Signature",
+    "Signer",
+    "ThresholdScheme",
+    "ThresholdSignature",
+    "UI",
+    "Usig",
+    "UsigAuthority",
+    "UsigLogChecker",
+    "canonical_bytes",
+    "sha256_hex",
+    "sha256_int",
+]

@@ -1,0 +1,69 @@
+"""Hashing helpers shared by the crypto substrate and the blockchain.
+
+Real SHA-256 via :mod:`hashlib`; the only simulation-specific twist is a
+canonical byte encoding for arbitrary Python values so that hashes are
+stable across runs and processes.
+"""
+
+import hashlib
+
+
+def canonical_bytes(value):
+    """Encode ``value`` into deterministic bytes for hashing.
+
+    Handles the types protocol messages are built from; containers are
+    encoded recursively with type tags so e.g. ``(1, 2)`` and ``[1, 2]``
+    hash differently from ``"12"``.
+    """
+    if value is None:
+        return b"\x00N"
+    if isinstance(value, bool):
+        return b"\x00B" + (b"1" if value else b"0")
+    if isinstance(value, int):
+        return b"\x00I" + str(value).encode("ascii")
+    if isinstance(value, float):
+        return b"\x00F" + repr(value).encode("ascii")
+    if isinstance(value, str):
+        return b"\x00S" + value.encode("utf-8")
+    if isinstance(value, bytes):
+        return b"\x00Y" + value
+    if isinstance(value, (list, tuple)):
+        parts = [b"\x00L", str(len(value)).encode("ascii")]
+        for item in value:
+            encoded = canonical_bytes(item)
+            parts.append(str(len(encoded)).encode("ascii"))
+            parts.append(b":")
+            parts.append(encoded)
+        return b"".join(parts)
+    if isinstance(value, (set, frozenset)):
+        return canonical_bytes(sorted(canonical_bytes(v) for v in value))
+    if isinstance(value, dict):
+        items = sorted(
+            (canonical_bytes(k), canonical_bytes(v)) for k, v in value.items()
+        )
+        return b"\x00D" + canonical_bytes([list(pair) for pair in items])
+    # Dataclass-ish objects: hash their public attribute dict.
+    attrs = getattr(value, "__dict__", None)
+    if attrs is not None:
+        return b"\x00O" + canonical_bytes(
+            {k: v for k, v in attrs.items() if not k.startswith("_")}
+        )
+    raise TypeError("cannot canonicalise %r of type %s" % (value, type(value)))
+
+
+def sha256_hex(*values):
+    """SHA-256 over the canonical encoding of ``values``, as hex."""
+    digest = hashlib.sha256()
+    for value in values:
+        digest.update(canonical_bytes(value))
+    return digest.hexdigest()
+
+
+def sha256_int(*values):
+    """SHA-256 over ``values`` as a 256-bit integer (for PoW target tests)."""
+    return int(sha256_hex(*values), 16)
+
+
+#: Largest possible SHA-256 output + 1; PoW difficulty D is expressed as a
+#: target below this ceiling, exactly as in Bitcoin's header target bits.
+HASH_SPACE = 1 << 256

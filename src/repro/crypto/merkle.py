@@ -1,0 +1,76 @@
+"""Merkle trees, as used in Bitcoin block headers.
+
+The block header commits to all transactions through the Merkle root;
+light clients verify membership with a logarithmic audit path.  Both are
+implemented here over SHA-256 with Bitcoin's duplicate-last-node rule
+for odd levels.
+"""
+
+from .hashing import sha256_hex
+
+
+def _leaf_hash(value):
+    return sha256_hex("leaf", value)
+
+
+def _node_hash(left, right):
+    return sha256_hex("node", left, right)
+
+
+class MerkleTree:
+    """Merkle tree over an ordered sequence of transaction payloads."""
+
+    def __init__(self, leaves):
+        leaves = list(leaves)
+        if not leaves:
+            raise ValueError("a Merkle tree needs at least one leaf")
+        self.leaves = leaves
+        self._levels = [[_leaf_hash(leaf) for leaf in leaves]]
+        while len(self._levels[-1]) > 1:
+            current = self._levels[-1]
+            if len(current) % 2 == 1:
+                # Bitcoin's rule: duplicate the trailing node on odd levels.
+                current = current + [current[-1]]
+            nxt = [
+                _node_hash(current[i], current[i + 1])
+                for i in range(0, len(current), 2)
+            ]
+            self._levels.append(nxt)
+
+    @property
+    def root(self):
+        """Hex Merkle root committing to every leaf in order."""
+        return self._levels[-1][0]
+
+    def proof(self, index):
+        """Audit path for the leaf at ``index``: list of (sibling, is_right).
+
+        ``is_right`` records whether the sibling sits to the right of the
+        running hash when recomputing toward the root.
+        """
+        if not 0 <= index < len(self.leaves):
+            raise IndexError("leaf index %d out of range" % (index,))
+        path = []
+        position = index
+        for level in self._levels[:-1]:
+            nodes = level if len(level) % 2 == 0 else level + [level[-1]]
+            if position % 2 == 0:
+                path.append((nodes[position + 1], True))
+            else:
+                path.append((nodes[position - 1], False))
+            position //= 2
+        return path
+
+    @staticmethod
+    def verify(leaf, proof, root):
+        """Check a leaf payload against a root using an audit path."""
+        running = _leaf_hash(leaf)
+        for sibling, is_right in proof:
+            if is_right:
+                running = _node_hash(running, sibling)
+            else:
+                running = _node_hash(sibling, running)
+        return running == root
+
+    def __len__(self):
+        return len(self.leaves)

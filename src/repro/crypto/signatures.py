@@ -1,0 +1,86 @@
+"""Simulated digital signatures and MACs.
+
+The paper's substitution rule applies here: BFT protocols need
+signatures only to stop Byzantine replicas from *forging other replicas'
+statements inside the simulation*.  HMAC over a per-node secret drawn
+from a :class:`KeyRegistry` provides exactly that property — a Byzantine
+node object holds only its own signing handle, so any "forged" signature
+it fabricates fails verification — at a tiny fraction of the cost of
+public-key crypto, which matters when benchmarks sign tens of thousands
+of messages.
+"""
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from .hashing import canonical_bytes
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature: who claims to have signed, and the MAC tag."""
+
+    signer: str
+    tag: bytes
+
+    def __repr__(self):
+        return "Signature(%s, %s…)" % (self.signer, self.tag[:4].hex())
+
+
+class Signer:
+    """Per-node signing handle.  Obtained from :class:`KeyRegistry`."""
+
+    def __init__(self, name, key):
+        self.name = name
+        self._key = key
+
+    def sign(self, *values):
+        tag = hmac.new(self._key, canonical_bytes(list(values)), hashlib.sha256)
+        return Signature(self.name, tag.digest())
+
+
+class KeyRegistry:
+    """Trusted key-distribution authority for a simulation run.
+
+    One registry per run plays the role of the PKI: it mints each node's
+    secret key and can verify any signature.  Nodes receive only their
+    own :class:`Signer`; verification goes through the registry (nodes
+    hold a reference, mirroring "everyone knows everyone's public key").
+    """
+
+    def __init__(self, seed=b"repro-keys"):
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        self._seed = seed
+        self._keys = {}
+
+    def _key_for(self, name):
+        key = self._keys.get(name)
+        if key is None:
+            key = hashlib.sha256(self._seed + b"|" + name.encode("utf-8")).digest()
+            self._keys[name] = key
+        return key
+
+    def signer(self, name):
+        """Issue the signing handle for ``name`` (idempotent)."""
+        return Signer(name, self._key_for(name))
+
+    def verify(self, signature, *values):
+        """Check that ``signature`` is a valid signature by its claimed
+        signer over ``values``."""
+        if not isinstance(signature, Signature):
+            return False
+        expected = hmac.new(
+            self._key_for(signature.signer),
+            canonical_bytes(list(values)),
+            hashlib.sha256,
+        ).digest()
+        return hmac.compare_digest(expected, signature.tag)
+
+    def forge(self, claimed_signer, *values):
+        """Produce an *invalid* signature purporting to be from
+        ``claimed_signer`` — what a Byzantine node gets when it tries to
+        impersonate.  Exists so attack tests are explicit about forgery."""
+        bogus = hashlib.sha256(b"forged|" + canonical_bytes(list(values))).digest()
+        return Signature(claimed_signer, bogus)

@@ -1,0 +1,125 @@
+"""USIG — the Unique Sequential Identifier Generator of MinBFT/CheapBFT.
+
+The trusted hardware component the paper describes: it "generates unique
+identifiers for every message", each "assigned incrementally", each "the
+successor of the previous one".  Because the counter lives inside the
+tamper-proof component, even a Byzantine replica cannot assign the same
+counter value to two different messages — it can stay silent or send
+garbage, but it cannot *equivocate* on sequencing.  That single property
+is what lets MinBFT run with 2f+1 replicas and two phases.
+
+We simulate tamper-proofness structurally: the monotone counter is
+private to the :class:`Usig` object, which exposes only ``create_ui``
+(increments, signs) and verification.  Byzantine node implementations in
+this library receive the same object and therefore physically cannot
+mint two UIs with one counter value.
+"""
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from .hashing import canonical_bytes
+
+
+@dataclass(frozen=True)
+class UI:
+    """A unique identifier: (issuer, counter, certificate)."""
+
+    issuer: str
+    counter: int
+    cert: bytes
+
+    def __repr__(self):
+        return "UI(%s, #%d)" % (self.issuer, self.counter)
+
+
+class Usig:
+    """One replica's trusted USIG instance.
+
+    Created via :class:`UsigAuthority`, which shares the verification
+    secret among all replicas' USIGs (modelling remote attestation).
+    """
+
+    def __init__(self, name, key):
+        self.name = name
+        self._key = key
+        self._counter = 0
+
+    @property
+    def counter(self):
+        """Value of the last issued counter (0 before any issue)."""
+        return self._counter
+
+    def create_ui(self, *values):
+        """Assign the next counter value to ``values`` and certify it."""
+        self._counter += 1
+        return UI(self.name, self._counter, self._cert(self.name, self._counter, values))
+
+    def verify_ui(self, ui, *values):
+        """Check that ``ui`` certifies exactly ``values`` for its counter."""
+        if not isinstance(ui, UI):
+            return False
+        expected = self._cert(ui.issuer, ui.counter, values)
+        return hmac.compare_digest(expected, ui.cert)
+
+    def _cert(self, issuer, counter, values):
+        payload = canonical_bytes([issuer, counter, list(values)])
+        return hmac.new(self._key, payload, hashlib.sha256).digest()
+
+
+class UsigAuthority:
+    """Provisions USIG instances sharing one attestation secret.
+
+    All USIGs from one authority can verify each other's UIs — the
+    simulation's stand-in for hardware attestation between TPMs.
+    """
+
+    def __init__(self, seed=b"repro-usig"):
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        self._key = hashlib.sha256(seed + b"|attest").digest()
+        self._issued = {}
+
+    def provision(self, name):
+        """Issue (once) the USIG for replica ``name``.
+
+        Re-provisioning the same name returns the same instance: a
+        restarted replica keeps its hardware counter, which is exactly
+        what makes USIG-based protocols safe across crashes.
+        """
+        usig = self._issued.get(name)
+        if usig is None:
+            usig = Usig(name, self._key)
+            self._issued[name] = usig
+        return usig
+
+
+class UsigLogChecker:
+    """Receiver-side monotonicity tracking for a stream of UIs.
+
+    MinBFT replicas must verify not just each UI's certificate but that
+    the sequence from each sender has no gaps and never repeats —
+    otherwise a faulty sender could silently omit a message for some
+    receivers.  One checker per (receiver, sender) pair.
+    """
+
+    def __init__(self, usig, sender):
+        self._usig = usig
+        self.sender = sender
+        self.expected = 1
+
+    def accept(self, ui, *values):
+        """Validate ``ui`` as the next identifier from ``sender``.
+
+        Returns ``True`` and advances on success; ``False`` on a bad
+        certificate, wrong issuer, replay or gap.
+        """
+        if ui.issuer != self.sender:
+            return False
+        if ui.counter != self.expected:
+            return False
+        if not self._usig.verify_ui(ui, *values):
+            return False
+        self.expected += 1
+        return True

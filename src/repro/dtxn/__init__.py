@@ -1,0 +1,14 @@
+"""Distributed transactions: 2PL + 2PC over Paxos-replicated partitions
+(the tutorial's Google Spanner architecture)."""
+
+from .coordinator import Transaction, TxnCoordinator, TxnState
+from .state_machine import TxnKVStateMachine
+from .store import DistributedKV
+
+__all__ = [
+    "DistributedKV",
+    "Transaction",
+    "TxnCoordinator",
+    "TxnKVStateMachine",
+    "TxnState",
+]

@@ -1,0 +1,237 @@
+"""The distributed-transaction coordinator: 2PC over Paxos groups.
+
+One coordinator node drives each transaction through the tutorial's
+Spanner stack:
+
+1. **2PL acquire + read** — a replicated ``txn_lock`` command on every
+   involved partition (parallel), returning current values;
+2. **compute** — the transaction's update function runs on the reads;
+3. **2PC prepare** — replicated ``txn_prepare`` staging the writes on
+   each partition (once a partition's Paxos log holds the prepare, it
+   survives any minority of replica crashes — 2PC's participant-side
+   fragility is gone);
+4. **2PC decision** — ``txn_commit`` everywhere (or ``txn_abort`` on any
+   conflict/failure, releasing locks).
+
+Conflicts use no-wait: the coordinator aborts, releases, backs off a
+randomized delay, and retries the whole transaction — the same
+randomized-retry medicine the tutorial prescribes for Paxos duels.
+
+(Spanner also replicates the *coordinator's* commit decision in its own
+Paxos group; here the decision is durable the moment prepares are
+replicated on every participant, and the simulator's coordinator is a
+client-side driver — the participant-side replication is the property
+the tutorial's figure is about.)
+"""
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.node import Node
+from ..protocols.multipaxos import ClientRequest
+
+
+class TxnState(enum.Enum):
+    """Lifecycle of one distributed transaction."""
+
+    LOCKING = "locking"
+    PREPARING = "preparing"
+    COMMITTING = "committing"
+    ABORTING = "aborting"
+    DONE = "done"
+
+
+@dataclass
+class Transaction:
+    """One multi-partition transaction.
+
+    ``keys`` is the full read/write set; ``update`` maps
+    ``{key: old_value} -> {key: new_value}`` (pure, may write any subset
+    of the keys).  ``abort_if`` lets business logic veto (e.g. overdraft)
+    after reading — a clean abort, not a conflict.
+    """
+
+    txid: str
+    keys: tuple
+    update: object
+    abort_if: object = None
+    state: TxnState = TxnState.LOCKING
+    attempts: int = 0
+    reads: dict = field(default_factory=dict)
+    outcome: str = None  # "committed" | "aborted"
+    result: dict = None
+    finished_at: float = None
+
+
+class TxnCoordinator(Node):
+    """Client-side transaction driver over partition groups.
+
+    Parameters
+    ----------
+    groups:
+        Mapping group_id -> list of replica names of that Paxos group.
+    key_of_group:
+        Callable key -> group_id (the partitioning function).
+    max_attempts:
+        Retry budget per transaction before giving up with "aborted".
+    """
+
+    def __init__(self, sim, network, name, groups, key_of_group,
+                 max_attempts=12, backoff=(2.0, 8.0)):
+        super().__init__(sim, network, name)
+        self.groups = {gid: list(names) for gid, names in groups.items()}
+        self.key_of_group = key_of_group
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.leader_hint = {gid: names[0] for gid, names in self.groups.items()}
+        self._txns = {}
+        self._request_seq = itertools.count()
+        self._pending = {}  # request_id -> (txid, group_id, kind)
+        self._round = {}  # txid -> {"kind", "waiting": set, "replies": dict}
+        self.conflicts_seen = 0
+        self.commits = 0
+        self.aborts = 0
+
+    # -- public -----------------------------------------------------------------
+
+    def submit(self, txn):
+        """Start driving ``txn``; progress is visible on ``txn.state``."""
+        self._txns[txn.txid] = txn
+        self._begin_attempt(txn)
+        return txn
+
+    def groups_of(self, txn):
+        by_group = {}
+        for key in txn.keys:
+            by_group.setdefault(self.key_of_group(key), []).append(key)
+        return by_group
+
+    # -- attempt driving ------------------------------------------------------------
+
+    def _begin_attempt(self, txn):
+        if txn.attempts >= self.max_attempts:
+            self._finish(txn, "aborted")
+            return
+        txn.attempts += 1
+        txn.state = TxnState.LOCKING
+        txn.reads = {}
+        self._start_round(txn, "txn_lock", {
+            gid: ("txn_lock", txn.txid, tuple(keys))
+            for gid, keys in self.groups_of(txn).items()
+        })
+
+    def _start_round(self, txn, kind, commands):
+        self._round[txn.txid] = {
+            "kind": kind,
+            "waiting": set(commands),
+            "replies": {},
+        }
+        for gid, command in commands.items():
+            self._send_command(txn.txid, gid, kind, command)
+
+    def _send_command(self, txid, gid, kind, command):
+        request_id = "%s-%s-%d" % (txid, kind, next(self._request_seq))
+        self._pending[request_id] = (txid, gid, kind, command)
+        self.send(self.leader_hint[gid], ClientRequest(command, request_id))
+        # Retry against another replica if the leader is slow/dead.
+        self.set_timer(15.0, self._retry, request_id)
+
+    def _retry(self, request_id):
+        entry = self._pending.get(request_id)
+        if entry is None:
+            return
+        txid, gid, kind, command = entry
+        names = self.groups[gid]
+        current = self.leader_hint[gid]
+        self.leader_hint[gid] = names[(names.index(current) + 1) % len(names)]
+        self.send(self.leader_hint[gid], ClientRequest(command, request_id))
+        self.set_timer(15.0, self._retry, request_id)
+
+    def handle_redirect(self, msg, src):
+        entry = self._pending.get(msg.request_id)
+        if entry is None:
+            return
+        txid, gid, kind, command = entry
+        if msg.leader_hint and msg.leader_hint in self.groups[gid]:
+            self.leader_hint[gid] = msg.leader_hint
+        self.send(self.leader_hint[gid], ClientRequest(command, msg.request_id))
+
+    def handle_clientreply(self, msg, src):
+        entry = self._pending.pop(msg.request_id, None)
+        if entry is None:
+            return  # duplicate reply
+        txid, gid, kind, _command = entry
+        round_ = self._round.get(txid)
+        if round_ is None or round_["kind"] != kind:
+            return  # stale round (e.g. reply after an abort began)
+        round_["replies"][gid] = msg.result
+        round_["waiting"].discard(gid)
+        if not round_["waiting"]:
+            self._round_complete(self._txns[txid], kind, round_["replies"])
+
+    # -- round transitions -------------------------------------------------------------
+
+    def _round_complete(self, txn, kind, replies):
+        if kind == "txn_lock":
+            conflicts = [r for r in replies.values() if r[0] == "conflict"]
+            if conflicts:
+                self.conflicts_seen += len(conflicts)
+                self._abort_then_retry(txn, replies)
+                return
+            for reply in replies.values():
+                txn.reads.update(reply[1])
+            if txn.abort_if is not None and txn.abort_if(txn.reads):
+                txn.state = TxnState.ABORTING
+                self._start_round(txn, "txn_abort", {
+                    gid: ("txn_abort", txn.txid)
+                    for gid in self.groups_of(txn)
+                })
+                txn.outcome = "aborted-by-logic"
+                return
+            writes = txn.update(dict(txn.reads))
+            txn.state = TxnState.PREPARING
+            by_group = {}
+            for key, value in writes.items():
+                by_group.setdefault(self.key_of_group(key), {})[key] = value
+            commands = {}
+            for gid in self.groups_of(txn):
+                group_writes = by_group.get(gid, {})
+                commands[gid] = ("txn_prepare", txn.txid,
+                                 tuple(sorted(group_writes.items())))
+            self._start_round(txn, "txn_prepare", commands)
+        elif kind == "txn_prepare":
+            if all(reply == "prepared" for reply in replies.values()):
+                txn.state = TxnState.COMMITTING
+                self._start_round(txn, "txn_commit", {
+                    gid: ("txn_commit", txn.txid)
+                    for gid in self.groups_of(txn)
+                })
+            else:
+                self._abort_then_retry(txn, replies)
+        elif kind == "txn_commit":
+            self._finish(txn, "committed")
+        elif kind == "txn_abort":
+            if txn.outcome == "aborted-by-logic":
+                self._finish(txn, "aborted")
+            else:
+                delay = self.sim.rng.uniform(*self.backoff)
+                self.set_timer(delay, self._begin_attempt, txn)
+
+    def _abort_then_retry(self, txn, replies):
+        txn.state = TxnState.ABORTING
+        # Release whatever we might hold on every involved group.
+        self._start_round(txn, "txn_abort", {
+            gid: ("txn_abort", txn.txid) for gid in self.groups_of(txn)
+        })
+
+    def _finish(self, txn, outcome):
+        txn.outcome = outcome
+        txn.state = TxnState.DONE
+        txn.finished_at = self.sim.now
+        txn.result = dict(txn.reads)
+        if outcome == "committed":
+            self.commits += 1
+        else:
+            self.aborts += 1
+        self._round.pop(txn.txid, None)

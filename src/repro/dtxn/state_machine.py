@@ -1,0 +1,106 @@
+"""The transactional partition state machine.
+
+The tutorial's Google Spanner slide layers "Transactions: 2PL + 2PC"
+over Paxos-replicated storage partitions.  This state machine is what
+each partition group replicates: a KV store plus a lock table plus
+staged (prepared-but-uncommitted) transaction writes.  Because locking,
+preparing, committing and aborting are *log commands*, every replica of
+the partition reaches identical lock/stage state — the "make the
+participant fault-tolerant via abstract replication" move the tutorial
+draws over abstract 2PC.
+
+Locking discipline: strict two-phase locking with **no-wait** conflict
+handling — a lock request that conflicts fails immediately (the
+coordinator aborts and retries).  No-wait keeps the state machine
+deterministic and makes deadlock impossible by construction.
+"""
+
+
+class TxnKVStateMachine:
+    """Deterministic partition state machine for 2PL + 2PC.
+
+    Commands (all tuples):
+
+    * ``("txn_lock", txid, keys)`` → ``("ok", {key: value})`` with all
+      locks granted and current values read, or
+      ``("conflict", holder_txid)`` with *no* locks taken.
+    * ``("txn_prepare", txid, writes)`` → ``"prepared"`` after staging,
+      or ``"no-locks"`` if the transaction doesn't hold its locks.
+    * ``("txn_commit", txid)`` → ``"committed"`` (applies staged writes,
+      releases locks).
+    * ``("txn_abort", txid)`` → ``"aborted"`` (drops stage, releases).
+    * ``("get", key)`` → value (non-transactional read).
+    * ``("put", key, value)`` → previous value (non-transactional write;
+      refused with ``"locked"`` if the key is locked).
+    """
+
+    def __init__(self):
+        self.data = {}
+        self.locks = {}  # key -> txid
+        self.staged = {}  # txid -> {key: value}
+        self.ops_applied = 0
+        self.commits = 0
+        self.aborts = 0
+        self.conflicts = 0
+
+    def apply(self, command):
+        op = command[0]
+        handler = getattr(self, "_op_%s" % op, None)
+        if handler is None:
+            raise ValueError("unknown operation %r" % (op,))
+        self.ops_applied += 1
+        return handler(*command[1:])
+
+    # -- transactional ---------------------------------------------------------
+
+    def _op_txn_lock(self, txid, keys):
+        keys = tuple(keys)
+        for key in keys:
+            holder = self.locks.get(key)
+            if holder is not None and holder != txid:
+                self.conflicts += 1
+                return ("conflict", holder)
+        for key in keys:
+            self.locks[key] = txid
+        return ("ok", {key: self.data.get(key) for key in keys})
+
+    def _op_txn_prepare(self, txid, writes):
+        writes = dict(writes)
+        for key in writes:
+            if self.locks.get(key) != txid:
+                return "no-locks"
+        self.staged[txid] = writes
+        return "prepared"
+
+    def _op_txn_commit(self, txid):
+        writes = self.staged.pop(txid, {})
+        for key, value in writes.items():
+            self.data[key] = value
+        self._release(txid)
+        self.commits += 1
+        return "committed"
+
+    def _op_txn_abort(self, txid):
+        self.staged.pop(txid, None)
+        self._release(txid)
+        self.aborts += 1
+        return "aborted"
+
+    def _release(self, txid):
+        for key in [k for k, holder in self.locks.items() if holder == txid]:
+            del self.locks[key]
+
+    # -- plain access ------------------------------------------------------------
+
+    def _op_get(self, key):
+        return self.data.get(key)
+
+    def _op_put(self, key, value):
+        if key in self.locks:
+            return "locked"
+        previous = self.data.get(key)
+        self.data[key] = value
+        return previous
+
+    def snapshot(self):
+        return dict(self.data)

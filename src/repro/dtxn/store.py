@@ -1,0 +1,161 @@
+"""DistributedKV — a Spanner-shaped store: partitions × replication.
+
+The tutorial's Google Spanner figure as a public API: data hash-
+partitioned across Multi-Paxos replica groups (the storage tier's
+"abstract replication"), with cross-partition transactions driven by
+2PL + 2PC (the execution tier).
+
+::
+
+    from repro.dtxn import DistributedKV
+
+    db = DistributedKV(n_partitions=3, replicas_per_partition=3, seed=1)
+    db.put("alice", 100)
+    db.put("bob", 50)
+    outcome = db.transfer("alice", "bob", 30)   # cross-partition txn
+    assert outcome == "committed"
+    db.crash_one_replica_per_partition()        # minority crashes
+    assert db.transfer("bob", "alice", 10) == "committed"
+"""
+
+import itertools
+
+from ..core.cluster import Cluster
+from ..core.exceptions import LivenessFailure
+from ..protocols.multipaxos import MultiPaxosReplica
+from .coordinator import Transaction, TxnCoordinator
+from .state_machine import TxnKVStateMachine
+
+
+class DistributedKV:
+    """Partitioned, replicated, transactional key-value store.
+
+    Parameters
+    ----------
+    n_partitions:
+        Number of Paxos groups data is hash-partitioned across.
+    replicas_per_partition:
+        Replication factor per group (2f+1 for f crash faults).
+    """
+
+    def __init__(self, n_partitions=2, replicas_per_partition=3, seed=0,
+                 delivery=None, op_timeout=3000.0):
+        self.cluster = Cluster(seed=seed, delivery=delivery)
+        self.n_partitions = n_partitions
+        self.op_timeout = op_timeout
+        self.groups = {}
+        self.replicas = {}
+        for gid in range(n_partitions):
+            names = ["g%dr%d" % (gid, i) for i in range(replicas_per_partition)]
+            self.groups[gid] = names
+            self.replicas[gid] = self.cluster.add_nodes(
+                MultiPaxosReplica, names, names,
+                state_machine_factory=TxnKVStateMachine,
+            )
+        self.coordinator = self.cluster.add_node(
+            TxnCoordinator, "txn-coord", self.groups, self.group_of
+        )
+        self._txid_counter = itertools.count()
+        self.cluster.start_all()
+        # Let the per-group leader elections finish before serving.
+        self.cluster.sim.run_for(10.0)
+
+    # -- partitioning -----------------------------------------------------------
+
+    def group_of(self, key):
+        """Deterministic hash partitioning (stable across runs)."""
+        digest = 0
+        for char in str(key):
+            digest = (digest * 131 + ord(char)) % (1 << 30)
+        return digest % self.n_partitions
+
+    # -- transactions -------------------------------------------------------------
+
+    def run_transaction(self, keys, update, abort_if=None):
+        """Run a multi-key transaction to completion.
+
+        ``update({key: old}) -> {key: new}``; ``abort_if({key: old})`` may
+        veto after reads.  Returns the :class:`Transaction` (check
+        ``outcome`` / ``result``).
+        """
+        txid = "tx%d" % next(self._txid_counter)
+        txn = Transaction(txid, tuple(keys), update, abort_if=abort_if)
+        self.coordinator.submit(txn)
+        deadline = self.cluster.now + self.op_timeout
+        self.cluster.run_until(lambda: txn.outcome is not None
+                               and txn.state.value == "done",
+                               until=deadline)
+        if txn.outcome is None:
+            raise LivenessFailure("transaction %s did not finish" % txid)
+        return txn
+
+    def transfer(self, src, dst, amount):
+        """The canonical bank transfer: read both, move funds, refuse
+        overdrafts.  Returns "committed" or "aborted"."""
+        def update(reads):
+            return {src: (reads[src] or 0) - amount,
+                    dst: (reads[dst] or 0) + amount}
+
+        def overdraft(reads):
+            return (reads[src] or 0) < amount
+
+        return self.run_transaction((src, dst), update,
+                                    abort_if=overdraft).outcome
+
+    def txn_read(self, keys):
+        """Transactionally consistent multi-key read."""
+        txn = self.run_transaction(tuple(keys), lambda reads: {})
+        return txn.result
+
+    # -- single-key access ----------------------------------------------------------
+
+    def put(self, key, value):
+        txn = self.run_transaction((key,), lambda reads: {key: value})
+        return txn.outcome
+
+    def get(self, key):
+        return self.txn_read((key,))[key]
+
+    # -- fault injection -------------------------------------------------------------
+
+    def crash_one_replica_per_partition(self):
+        """Crash a follower in every group (a tolerable minority)."""
+        crashed = []
+        for gid, replicas in self.replicas.items():
+            for replica in replicas:
+                if not replica.crashed and not replica.is_leader:
+                    replica.crash()
+                    crashed.append(replica.name)
+                    break
+        return crashed
+
+    def crash_group_leader(self, gid):
+        for replica in self.replicas[gid]:
+            if replica.is_leader and not replica.crashed:
+                replica.crash()
+                return replica.name
+        return None
+
+    # -- verification -----------------------------------------------------------------
+
+    def settle(self, duration=80.0):
+        self.cluster.sim.run_for(duration)
+
+    def check_consistency(self):
+        """Within each group: no conflicting committed log entries and
+        identical state at equal progress."""
+        from ..smr import check_log_consistency, check_state_machines
+        for replicas in self.replicas.values():
+            logs = [r.committed_log() for r in replicas]
+            if not check_log_consistency(logs):
+                return False
+            machines = [r.state_machine for r in replicas if not r.crashed]
+            if not check_state_machines(machines):
+                return False
+        return True
+
+    def total_of(self, keys):
+        """Sum of values across keys (the conserved quantity in the
+        transfer workload)."""
+        reads = self.txn_read(tuple(keys))
+        return sum(v or 0 for v in reads.values())

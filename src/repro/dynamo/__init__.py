@@ -1,0 +1,21 @@
+"""Optimistic replication: a Dynamo-style eventually consistent store
+(the tutorial's DynamoDB slide and 'optimistic processing strategy')."""
+
+from .node import DynamoCoordinator, DynamoReplica
+from .store import EventualKV
+from .versioning import (
+    VectorClock,
+    Versioned,
+    last_writer_wins,
+    reconcile,
+)
+
+__all__ = [
+    "DynamoCoordinator",
+    "DynamoReplica",
+    "EventualKV",
+    "VectorClock",
+    "Versioned",
+    "last_writer_wins",
+    "reconcile",
+]

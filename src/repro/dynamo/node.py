@@ -1,0 +1,222 @@
+"""Dynamo-style replicas and the quorum coordinator.
+
+The optimistic column of the tutorial's taxonomy, end to end:
+
+* every replica accepts writes locally (no agreement protocol, no
+  leader),
+* a **coordinator** offers tunable (N, R, W) quorums: a write completes
+  after W of N replica acks, a read after R replies (merging versions
+  and issuing **read repair** for stale replicas),
+* an **anti-entropy** gossip pass runs in the background, exchanging
+  version frontiers so replicas converge even when client traffic
+  doesn't touch them — eventual consistency.
+
+With R + W > N, read and write quorums intersect and reads see the
+latest completed write; with R + W <= N staleness windows open up —
+exactly the dial the DynamoDB slide advertises.
+"""
+
+from dataclasses import dataclass
+
+from ..core.node import Node
+from ..net.message import Message
+from .versioning import Versioned, VectorClock, last_writer_wins, reconcile
+
+
+@dataclass(frozen=True)
+class DynGet(Message):
+    key: str
+    request_id: str
+
+
+@dataclass(frozen=True)
+class DynGetReply(Message):
+    key: str
+    request_id: str
+    versions: tuple
+
+
+@dataclass(frozen=True)
+class DynPut(Message):
+    key: str
+    version: Versioned
+    request_id: str
+
+
+@dataclass(frozen=True)
+class DynPutAck(Message):
+    request_id: str
+
+
+@dataclass(frozen=True)
+class Gossip(Message):
+    """Anti-entropy exchange: a replica's version frontier for all keys."""
+
+    frontier: tuple  # ((key, (Versioned, ...)), ...)
+
+
+class DynamoReplica(Node):
+    """A leaderless replica: stores version frontiers, gossips them."""
+
+    def __init__(self, sim, network, name, peers, gossip_interval=10.0):
+        super().__init__(sim, network, name)
+        self.peers = [p for p in peers if p != name]
+        self.store = {}  # key -> [Versioned, ...] (the frontier)
+        self.gossip_interval = gossip_interval
+        self.read_repairs = 0
+
+    def on_start(self):
+        if self.gossip_interval:
+            self.set_periodic_timer(self.gossip_interval, self._gossip)
+
+    # -- client-facing --------------------------------------------------------
+
+    def handle_dynget(self, msg, src):
+        versions = tuple(self.store.get(msg.key, ()))
+        self.send(src, DynGetReply(msg.key, msg.request_id, versions))
+
+    def handle_dynput(self, msg, src):
+        self._merge(msg.key, msg.version)
+        self.send(src, DynPutAck(msg.request_id))
+
+    def _merge(self, key, version):
+        frontier = list(self.store.get(key, ()))
+        if version in frontier:
+            return False
+        merged = reconcile(frontier + [version])
+        changed = merged != frontier
+        self.store[key] = merged
+        return changed
+
+    # -- anti-entropy -----------------------------------------------------------
+
+    def _gossip(self):
+        if not self.peers or not self.store:
+            return
+        peer = self.sim.rng.choice(self.peers)
+        frontier = tuple(
+            (key, tuple(versions)) for key, versions in self.store.items()
+        )
+        self.send(peer, Gossip(frontier))
+
+    def handle_gossip(self, msg, src):
+        for key, versions in msg.frontier:
+            for version in versions:
+                self._merge(key, version)
+
+    # -- read repair (from the coordinator) ----------------------------------------
+
+    def repair(self, key, versions):
+        for version in versions:
+            if self._merge(key, version):
+                self.read_repairs += 1
+
+
+class DynamoCoordinator(Node):
+    """Client-side quorum coordinator with tunable N/R/W.
+
+    A node in the simulation (so its messages pay latency like everyone
+    else's); the synchronous ``put``/``get`` surface lives on
+    :class:`~repro.dynamo.store.EventualKV`.
+    """
+
+    def __init__(self, sim, network, name, replicas, n=None, r=2, w=2):
+        super().__init__(sim, network, name)
+        self.replicas = list(replicas)
+        self.n = n if n is not None else len(self.replicas)
+        if not 1 <= self.n <= len(self.replicas):
+            raise ValueError("need 1 <= N <= replica count")
+        if not (1 <= r <= self.n and 1 <= w <= self.n):
+            raise ValueError("need 1 <= R, W <= N")
+        self.r = r
+        self.w = w
+        self._seq = 0
+        self._write_counter = 0  # per-writer monotone clock component
+        self._pending = {}  # request_id -> dict
+
+    def preference_list(self, key):
+        """The N replicas for a key (consistent order by key hash)."""
+        ranked = sorted(self.replicas,
+                        key=lambda name: hash_pair(key, name))
+        return ranked[: self.n]
+
+    # -- writes -----------------------------------------------------------------
+
+    def put(self, key, value, context=None, callback=None):
+        """Quorum write.  ``context`` is the vector clock from a prior
+        read (omitting it makes this a blind write — siblings may form)."""
+        base = context if context is not None else VectorClock()
+        # A writer's own component must be monotone across ALL its writes
+        # (not just within one causal chain), or two blind writes from the
+        # same coordinator would carry identical clocks.
+        self._write_counter += 1
+        counts = base.as_dict()
+        counts[self.name] = max(counts.get(self.name, 0) + 1,
+                                self._write_counter)
+        clock = VectorClock.of(counts)
+        version = Versioned(value, clock, (self.sim.now, self.name))
+        request_id = self._next_id("put")
+        self._pending[request_id] = {
+            "kind": "put", "acks": 0, "needed": self.w,
+            "callback": callback, "done": False, "version": version,
+        }
+        for replica in self.preference_list(key):
+            self.send(replica, DynPut(key, version, request_id))
+        return request_id
+
+    def handle_dynputack(self, msg, src):
+        entry = self._pending.get(msg.request_id)
+        if entry is None or entry["done"]:
+            return
+        entry["acks"] += 1
+        if entry["acks"] >= entry["needed"]:
+            entry["done"] = True
+            if entry["callback"] is not None:
+                entry["callback"](entry["version"])
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, key, callback=None):
+        """Quorum read: merge R replies, read-repair stale replicas."""
+        request_id = self._next_id("get")
+        self._pending[request_id] = {
+            "kind": "get", "key": key, "replies": {}, "needed": self.r,
+            "callback": callback, "done": False,
+        }
+        for replica in self.preference_list(key):
+            self.send(replica, DynGet(key, request_id))
+        return request_id
+
+    def handle_dyngetreply(self, msg, src):
+        entry = self._pending.get(msg.request_id)
+        if entry is None or entry["done"]:
+            return
+        entry["replies"][src] = list(msg.versions)
+        if len(entry["replies"]) < entry["needed"]:
+            return
+        entry["done"] = True
+        merged = reconcile(
+            [v for versions in entry["replies"].values() for v in versions]
+        )
+        # Read repair: push the merged frontier back to repliers that
+        # were missing any of it.  (Equality by list: reconcile() orders
+        # frontiers deterministically, and values may be unhashable.)
+        for replica, versions in entry["replies"].items():
+            if reconcile(versions) != merged:
+                node = self.network.node(replica)
+                if not node.crashed:
+                    node.repair(entry["key"], merged)
+        if entry["callback"] is not None:
+            entry["callback"](merged)
+
+    def _next_id(self, kind):
+        self._seq += 1
+        return "%s-%s-%d" % (self.name, kind, self._seq)
+
+
+def hash_pair(key, name):
+    """Stable pseudo-hash for preference-list ranking."""
+    digest = 0
+    for char in "%s|%s" % (key, name):
+        digest = (digest * 1099511 + ord(char)) % (1 << 61)
+    return digest

@@ -1,0 +1,88 @@
+"""Vector clocks and versioned values for optimistic replication.
+
+The tutorial's third taxonomy aspect contrasts *pessimistic* protocols
+(identical replicas, agreement first) with *optimistic* ones: "replicas
+speculatively execute requests without running an agreement protocol…
+replicas can diverge… eventual consistency" — the DynamoDB model.
+Vector clocks are the machinery that makes divergence detectable:
+comparable clocks order versions; incomparable clocks are *siblings*
+the application (or last-writer-wins) must reconcile.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VectorClock:
+    """An immutable vector clock: node name -> counter."""
+
+    counters: tuple = ()  # sorted ((node, count), ...)
+
+    @classmethod
+    def of(cls, mapping):
+        return cls(tuple(sorted(mapping.items())))
+
+    def as_dict(self):
+        return dict(self.counters)
+
+    def increment(self, node):
+        counts = self.as_dict()
+        counts[node] = counts.get(node, 0) + 1
+        return VectorClock.of(counts)
+
+    def merge(self, other):
+        counts = self.as_dict()
+        for node, count in other.counters:
+            counts[node] = max(counts.get(node, 0), count)
+        return VectorClock.of(counts)
+
+    def descends_from(self, other):
+        """True iff self >= other component-wise (self saw other)."""
+        mine = self.as_dict()
+        return all(mine.get(node, 0) >= count
+                   for node, count in other.counters)
+
+    def concurrent_with(self, other):
+        return not self.descends_from(other) and \
+            not other.descends_from(self)
+
+
+@dataclass(frozen=True)
+class Versioned:
+    """A value with its vector clock and a wall-clock tiebreak stamp."""
+
+    value: object
+    clock: VectorClock
+    stamp: tuple = (0.0, "")  # (virtual time, writer) for LWW tiebreaks
+
+
+def reconcile(versions):
+    """Collapse a set of versioned values to the current frontier.
+
+    Dominated versions are dropped; genuinely concurrent versions remain
+    as siblings, ordered deterministically by stamp (newest first).
+    """
+    frontier = []
+    for candidate in versions:
+        dominated = False
+        for other in versions:
+            if other is candidate:
+                continue
+            if other.clock.descends_from(candidate.clock) and \
+                    other.clock != candidate.clock:
+                dominated = True
+                break
+            if other.clock == candidate.clock and \
+                    other.stamp > candidate.stamp:
+                dominated = True
+                break
+        if not dominated and candidate not in frontier:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda v: v.stamp, reverse=True)
+
+
+def last_writer_wins(versions):
+    """LWW resolution: the single newest version by stamp (the simple
+    reconciliation DynamoDB defaults to)."""
+    frontier = reconcile(versions)
+    return frontier[0] if frontier else None

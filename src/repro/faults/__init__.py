@@ -1,0 +1,19 @@
+"""Fault injection: crash/partition plans and Byzantine network behaviours."""
+
+from .byzantine import (
+    ByzantineBehavior,
+    Delayer,
+    Duplicator,
+    SelectiveSilence,
+    Silence,
+)
+from .injectors import FaultPlan
+
+__all__ = [
+    "ByzantineBehavior",
+    "Delayer",
+    "Duplicator",
+    "FaultPlan",
+    "SelectiveSilence",
+    "Silence",
+]

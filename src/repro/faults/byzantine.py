@@ -1,0 +1,124 @@
+"""Generic Byzantine *network* behaviours, as composable interceptors.
+
+Protocol-specific Byzantine logic (an equivocating PBFT primary, a
+two-faced XFT leader) lives with each protocol as a node subclass; this
+module covers the behaviours any Byzantine node can mount at the
+transport level without understanding the protocol:
+
+* **silence** — send nothing (indistinguishable from a crash to peers),
+* **selective silence** — talk to some peers, starve others (the
+  behaviour that splits quorum views),
+* **delaying** — hold all outbound traffic just under the timeout,
+* **duplication** — replay every message k times (tests idempotency).
+
+All are implemented against the network's interceptor hook, so they
+compose with each other and with :class:`~repro.faults.FaultPlan`.
+"""
+
+
+class ByzantineBehavior:
+    """Base: installs/uninstalls an interceptor on a cluster's network."""
+
+    def __init__(self, cluster, node_name):
+        self.cluster = cluster
+        self.node_name = node_name
+        self._interceptor = None
+        self.messages_affected = 0
+
+    def install(self):
+        if self._interceptor is None:
+            self._interceptor = self._make_interceptor()
+            self.cluster.network.add_interceptor(self._interceptor)
+        return self
+
+    def uninstall(self):
+        if self._interceptor is not None:
+            self.cluster.network.remove_interceptor(self._interceptor)
+            self._interceptor = None
+
+    def _make_interceptor(self):
+        raise NotImplementedError
+
+
+class Silence(ByzantineBehavior):
+    """Drop every message the node sends."""
+
+    def _make_interceptor(self):
+        def interceptor(src, dst, message):
+            if src == self.node_name:
+                self.messages_affected += 1
+                return False
+            return None
+        return interceptor
+
+
+class SelectiveSilence(ByzantineBehavior):
+    """Starve a chosen subset of peers while talking to the rest."""
+
+    def __init__(self, cluster, node_name, starved):
+        super().__init__(cluster, node_name)
+        self.starved = set(starved)
+
+    def _make_interceptor(self):
+        def interceptor(src, dst, message):
+            if src == self.node_name and dst in self.starved:
+                self.messages_affected += 1
+                return False
+            return None
+        return interceptor
+
+
+class Delayer(ByzantineBehavior):
+    """Re-send every outbound message after ``delay`` instead of now.
+
+    Implemented as drop-and-reschedule: the original send is suppressed
+    and an identical send is scheduled ``delay`` later (outside the
+    interceptor chain, so it isn't re-delayed)."""
+
+    def __init__(self, cluster, node_name, delay):
+        super().__init__(cluster, node_name)
+        self.delay = delay
+        self._replaying = False
+
+    def _make_interceptor(self):
+        def interceptor(src, dst, message):
+            if src != self.node_name or self._replaying:
+                return None
+            self.messages_affected += 1
+
+            def replay():
+                self._replaying = True
+                try:
+                    self.cluster.network.send(src, dst, message)
+                finally:
+                    self._replaying = False
+
+            self.cluster.sim.schedule(self.delay, replay)
+            return False
+        return interceptor
+
+
+class Duplicator(ByzantineBehavior):
+    """Deliver every outbound message ``copies`` extra times."""
+
+    def __init__(self, cluster, node_name, copies=1, spacing=0.5):
+        super().__init__(cluster, node_name)
+        self.copies = copies
+        self.spacing = spacing
+        self._replaying = False
+
+    def _make_interceptor(self):
+        def interceptor(src, dst, message):
+            if src != self.node_name or self._replaying:
+                return None
+            self.messages_affected += 1
+            for copy in range(1, self.copies + 1):
+                def replay(dst=dst, message=message):
+                    self._replaying = True
+                    try:
+                        self.cluster.network.send(src, dst, message)
+                    finally:
+                        self._replaying = False
+                self.cluster.sim.schedule(copy * self.spacing, replay)
+            return None  # the original still goes through
+        return interceptor

@@ -1,0 +1,6 @@
+"""Measurement: message/latency accounting and complexity fitting."""
+
+from .collector import LatencyRecord, MetricsCollector
+from .complexity import classify_order, fit_order
+
+__all__ = ["LatencyRecord", "MetricsCollector", "classify_order", "fit_order"]

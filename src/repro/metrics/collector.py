@@ -1,0 +1,113 @@
+"""Message, phase and latency accounting.
+
+Every experiment in the paper's property boxes reduces to counting:
+how many replicas, how many communication phases, how many messages
+(and how that count scales with N).  The collector hangs off the
+network transport and records everything passively; protocols mark
+phase boundaries and request-level latencies explicitly.
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyRecord:
+    """One request's life: virtual start/end time and phase count."""
+
+    label: str
+    started_at: float
+    finished_at: float = None
+    phases: int = 0
+
+    @property
+    def latency(self):
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class MetricsCollector:
+    """Passive counters fed by :class:`~repro.net.Network` and protocols."""
+
+    messages_total: int = 0
+    bytes_total: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    by_sender: Counter = field(default_factory=Counter)
+    by_link: Counter = field(default_factory=Counter)
+    phase_marks: list = field(default_factory=list)
+    _open_requests: dict = field(default_factory=dict)
+    finished_requests: list = field(default_factory=list)
+
+    # -- fed by the network --------------------------------------------
+
+    def record_message(self, src, dst, message):
+        self.messages_total += 1
+        self.bytes_total += message.size_estimate()
+        self.by_type[message.mtype] += 1
+        self.by_sender[src] += 1
+        self.by_link[(src, dst)] += 1
+
+    # -- fed by protocols ------------------------------------------------
+
+    def mark_phase(self, protocol, phase, now):
+        """Record that ``protocol`` entered communication phase ``phase``."""
+        self.phase_marks.append((protocol, phase, now))
+
+    def phases_for(self, protocol):
+        """Distinct phases recorded for a protocol, in first-seen order."""
+        seen = []
+        for proto, phase, _now in self.phase_marks:
+            if proto == protocol and phase not in seen:
+                seen.append(phase)
+        return seen
+
+    def start_request(self, label, now):
+        record = LatencyRecord(label, now)
+        self._open_requests[label] = record
+        return record
+
+    def finish_request(self, label, now, phases=0):
+        record = self._open_requests.pop(label, None)
+        if record is None:
+            record = LatencyRecord(label, now)
+        record.finished_at = now
+        record.phases = phases
+        self.finished_requests.append(record)
+        return record
+
+    # -- derived -----------------------------------------------------------
+
+    def latencies(self):
+        """Completed request latencies, in completion order."""
+        return [r.latency for r in self.finished_requests]
+
+    def mean_latency(self):
+        values = self.latencies()
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def messages_of_types(self, *mtypes):
+        return sum(self.by_type[t] for t in mtypes)
+
+    def snapshot(self):
+        """Plain-dict summary for tables and EXPERIMENTS.md."""
+        return {
+            "messages_total": self.messages_total,
+            "bytes_total": self.bytes_total,
+            "by_type": dict(self.by_type),
+            "mean_latency": self.mean_latency(),
+            "requests": len(self.finished_requests),
+        }
+
+    def reset(self):
+        self.messages_total = 0
+        self.bytes_total = 0
+        self.by_type.clear()
+        self.by_sender.clear()
+        self.by_link.clear()
+        self.phase_marks.clear()
+        self._open_requests.clear()
+        self.finished_requests.clear()

@@ -1,0 +1,50 @@
+"""Empirical message-complexity fitting.
+
+The paper labels each protocol O(N), O(N²) or — for PBFT's view change —
+O(N³).  Given measured (n, messages) samples from runs at increasing
+cluster sizes, :func:`fit_order` estimates the polynomial order by
+log–log least squares, and :func:`classify_order` maps the exponent to
+the paper's buckets so the E1 bench can assert "measured complexity
+matches the claim".
+"""
+
+import math
+
+
+def fit_order(samples):
+    """Least-squares slope of log(messages) vs log(n).
+
+    Parameters
+    ----------
+    samples:
+        Iterable of ``(n, messages)`` with n >= 1 and messages >= 1.
+        At least two distinct n values are required.
+
+    Returns the fitted exponent as a float (1.0 ≈ linear, 2.0 ≈
+    quadratic, ...).
+    """
+    points = [(float(n), float(m)) for n, m in samples]
+    if len({n for n, _ in points}) < 2:
+        raise ValueError("need samples at >= 2 distinct cluster sizes")
+    if any(n <= 0 or m <= 0 for n, m in points):
+        raise ValueError("n and messages must be positive")
+    xs = [math.log(n) for n, _ in points]
+    ys = [math.log(m) for _, m in points]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den
+
+
+def classify_order(exponent, tolerance=0.5):
+    """Bucket a fitted exponent into the paper's complexity classes.
+
+    Returns one of ``"O(N)"``, ``"O(N^2)"``, ``"O(N^3)"`` when the
+    exponent is within ``tolerance`` of 1, 2 or 3; otherwise a formatted
+    ``"O(N^x.x)"`` so mismatches are visible rather than hidden.
+    """
+    for target, label in ((1, "O(N)"), (2, "O(N^2)"), (3, "O(N^3)")):
+        if abs(exponent - target) <= tolerance:
+            return label
+    return "O(N^%.1f)" % exponent

@@ -1,0 +1,26 @@
+"""Simulated network: messages, delivery models, partitions, transport."""
+
+from .delivery import (
+    AsynchronousModel,
+    DeliveryModel,
+    PartialSynchronyModel,
+    PerLinkModel,
+    SynchronousModel,
+    UniformDelayModel,
+)
+from .message import Envelope, Message
+from .network import Network
+from .partitions import PartitionManager
+
+__all__ = [
+    "AsynchronousModel",
+    "DeliveryModel",
+    "Envelope",
+    "Message",
+    "Network",
+    "PartialSynchronyModel",
+    "PartitionManager",
+    "PerLinkModel",
+    "SynchronousModel",
+    "UniformDelayModel",
+]

@@ -1,0 +1,123 @@
+"""The simulated network transport.
+
+:class:`Network` owns the registered nodes, asks its delivery model when
+each message arrives, honours partitions, feeds the metrics collector,
+and gives fault injectors an interception point for adversarial message
+manipulation (drop / delay / duplicate — Byzantine *content* corruption
+lives in the Byzantine node behaviours, since honest transports don't
+rewrite payloads).
+"""
+
+from .delivery import DeliveryModel, UniformDelayModel
+from .partitions import PartitionManager
+
+
+class Network:
+    """Message fabric connecting :class:`~repro.core.node.Node` processes.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying the clock, RNG and event queue.
+    delivery:
+        A :class:`~repro.net.delivery.DeliveryModel`; defaults to mildly
+        jittered bounded delay.
+    metrics:
+        Optional :class:`~repro.metrics.MetricsCollector`; every sent
+        message is recorded on it.
+    """
+
+    def __init__(self, sim, delivery=None, metrics=None):
+        self.sim = sim
+        self.delivery = delivery if delivery is not None else UniformDelayModel()
+        self.metrics = metrics
+        self.partitions = PartitionManager()
+        self._nodes = {}
+        self._interceptors = []
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, node):
+        """Attach a node to the fabric.  Names must be unique."""
+        if node.name in self._nodes:
+            raise ValueError("duplicate node name %r" % (node.name,))
+        self._nodes[node.name] = node
+
+    def node(self, name):
+        """Look up a registered node by name."""
+        return self._nodes[name]
+
+    @property
+    def node_names(self):
+        """Registered node names, in registration order."""
+        return list(self._nodes)
+
+    @property
+    def nodes(self):
+        """Registered node objects, in registration order."""
+        return list(self._nodes.values())
+
+    # -- interception ------------------------------------------------------
+
+    def add_interceptor(self, interceptor):
+        """Register ``interceptor(src, dst, message) -> bool``.
+
+        Returning ``False`` suppresses delivery.  Used by fault injectors
+        (targeted message loss, delaying a specific node's traffic) and by
+        metrics probes in tests.
+        """
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor):
+        self._interceptors.remove(interceptor)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src, dst, message):
+        """Send ``message`` from node named ``src`` to node named ``dst``.
+
+        Returns ``True`` if the message was put in flight (it may still be
+        dropped by the delivery model), ``False`` if suppressed outright.
+        """
+        if dst not in self._nodes:
+            raise KeyError("unknown destination %r" % (dst,))
+        if self.metrics is not None:
+            self.metrics.record_message(src, dst, message)
+        for interceptor in self._interceptors:
+            if interceptor(src, dst, message) is False:
+                return False
+        if not self.partitions.connected(src, dst):
+            return False
+        delay = self.delivery.delay(self.sim.rng, src, dst, self.sim.now)
+        if delay is DeliveryModel.DROP:
+            return False
+        self.sim.schedule(delay, self._deliver, src, dst, message)
+        return True
+
+    def broadcast(self, src, message, include_self=False):
+        """Send ``message`` from ``src`` to every registered node.
+
+        Each copy is an independent unicast (the paper's model: two-party
+        messages), so each samples its own delay and counts as one message.
+        """
+        sent = 0
+        for name in self._nodes:
+            if name == src and not include_self:
+                continue
+            if self.send(src, name, message):
+                sent += 1
+        return sent
+
+    def multicast(self, src, dsts, message):
+        """Unicast ``message`` to each destination in ``dsts``."""
+        sent = 0
+        for dst in dsts:
+            if self.send(src, dst, message):
+                sent += 1
+        return sent
+
+    def _deliver(self, src, dst, message):
+        node = self._nodes.get(dst)
+        if node is None or node.crashed:
+            return
+        node.deliver(message, src)

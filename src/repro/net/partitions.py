@@ -1,0 +1,53 @@
+"""Network partitions.
+
+A partition splits node names into disjoint groups; messages between
+groups are dropped while the partition is active.  XFT's fault model
+counts "correct but partitioned" replicas — this is the mechanism that
+creates them.
+"""
+
+
+class PartitionManager:
+    """Tracks the active partition, if any.
+
+    With no partition installed every pair of nodes can communicate.
+    Installing one (:meth:`split`) blocks cross-group traffic until
+    :meth:`heal` is called.  Nodes not named in any group form an
+    implicit extra group (fully isolated from all named groups).
+    """
+
+    def __init__(self):
+        self._group_of = None  # name -> group index, or None when healed
+
+    @property
+    def active(self):
+        return self._group_of is not None
+
+    def split(self, *groups):
+        """Partition the network into the given groups of node names."""
+        seen = set()
+        group_of = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                if name in seen:
+                    raise ValueError("node %r appears in two groups" % (name,))
+                seen.add(name)
+                group_of[name] = index
+        self._group_of = group_of
+
+    def heal(self):
+        """Remove the partition; all traffic flows again."""
+        self._group_of = None
+
+    def connected(self, src, dst):
+        """May a message travel from ``src`` to ``dst`` right now?"""
+        if self._group_of is None:
+            return True
+        # Unnamed nodes get a unique implicit group: isolated from everyone.
+        src_group = self._group_of.get(src, ("isolated", src))
+        dst_group = self._group_of.get(dst, ("isolated", dst))
+        return src_group == dst_group
+
+    def isolate(self, name, others):
+        """Convenience: put ``name`` alone on one side of a split."""
+        self.split([name], [n for n in others if n != name])

@@ -1,0 +1,60 @@
+"""Every protocol from the tutorial, one module each.
+
+Crash-fault consensus: :mod:`paxos` (single-decree), :mod:`multipaxos`,
+:mod:`fast_paxos`, :mod:`flexible_paxos`, :mod:`raft`, :mod:`benor`
+(randomized, the FLP circumvention).
+
+Atomic commitment: :mod:`commit` (2PC and 3PC).
+
+Byzantine agreement: :mod:`interactive_consistency` (Pease–Shostak–
+Lamport), :mod:`pbft`, :mod:`zyzzyva`, :mod:`hotstuff`.
+
+Hybrid / trusted-component: :mod:`minbft`, :mod:`cheapbft`,
+:mod:`upright`, :mod:`seemore`, :mod:`xft`.
+
+Importing this package registers every protocol's property box
+(:class:`~repro.core.taxonomy.ProtocolProfile`) in the global registry,
+from which the analysis layer renders the comparison table.
+"""
+
+from . import (  # noqa: F401  (imported for profile registration)
+    benor,
+    chandra_toueg,
+    cheapbft,
+    commit,
+    fast_paxos,
+    flexible_paxos,
+    hotstuff,
+    interactive_consistency,
+    minbft,
+    multipaxos,
+    paxos,
+    pbft,
+    raft,
+    seemore,
+    tendermint,
+    upright,
+    xft,
+    zyzzyva,
+)
+
+__all__ = [
+    "benor",
+    "chandra_toueg",
+    "cheapbft",
+    "commit",
+    "fast_paxos",
+    "flexible_paxos",
+    "hotstuff",
+    "interactive_consistency",
+    "minbft",
+    "multipaxos",
+    "paxos",
+    "pbft",
+    "raft",
+    "seemore",
+    "tendermint",
+    "upright",
+    "xft",
+    "zyzzyva",
+]

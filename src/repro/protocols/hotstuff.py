@@ -1,0 +1,564 @@
+"""HotStuff (Yin et al., PODC 2019) — basic and chained/pipelined.
+
+The tutorial's property box: 3f+1 nodes, **7 phases**, **O(N) linear**
+communication.  The linearity trick: each n-to-n phase of PBFT becomes
+an n-to-1 vote collection plus a 1-to-n broadcast, with the leader
+compressing 2f+1 votes into a constant-size **(k, n)-threshold
+signature** — a quorum certificate (QC) anyone can verify.
+
+:class:`BasicHotStuff` is the slides' sequence diagram: request →
+prepare → (votes) → pre-commit → (votes) → commit → (votes) → decide —
+seven one-way message exchanges, with view change folded into normal
+operation.
+
+:class:`ChainedHotStuffReplica` is the pipelined production form: one
+*generic* phase per view, a rotating leader, and the three-chain commit
+rule — a block is decided when it heads a chain of three blocks with
+consecutive views, each certified by a QC.  At steady state the pipeline
+decides one block per view, which is the throughput claim E11 measures.
+"""
+
+from dataclasses import dataclass
+
+from ..core.exceptions import ConfigurationError
+from ..core.node import Node
+from ..core.registry import register_profile
+from ..core.taxonomy import (
+    Awareness,
+    FailureModel,
+    ProtocolProfile,
+    Strategy,
+    Synchrony,
+)
+from ..crypto.hashing import sha256_hex
+from ..crypto.threshold import ThresholdScheme
+from ..net.message import Message
+
+PROFILE = register_profile(
+    ProtocolProfile(
+        name="hotstuff",
+        synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+        failure_model=FailureModel.BYZANTINE,
+        strategy=Strategy.PESSIMISTIC,
+        awareness=Awareness.KNOWN,
+        nodes_label="3f+1",
+        phases=7,
+        complexity="O(N)",
+        notes="threshold-signature QCs; leader rotation; pipelining",
+    )
+)
+
+
+# -- basic (sequential) HotStuff ----------------------------------------------
+
+BASIC_PHASES = ("prepare", "pre-commit", "commit", "decide")
+
+
+@dataclass(frozen=True)
+class HsRequest(Message):
+    operation: object
+    client: str
+
+
+@dataclass(frozen=True)
+class HsPhaseMsg(Message):
+    """Leader broadcast for one phase, carrying the previous phase's QC."""
+
+    view: int
+    phase: str
+    node_hash: str
+    operation: object
+    justify: object  # ThresholdSignature or None
+
+
+@dataclass(frozen=True)
+class HsVote(Message):
+    view: int
+    phase: str
+    node_hash: str
+    partial: object  # PartialSignature
+
+
+@dataclass(frozen=True)
+class HsReply(Message):
+    operation: object
+    result: object
+
+
+class BasicHotStuffReplica(Node):
+    """One replica of basic (non-pipelined) HotStuff.
+
+    All replicas share a :class:`~repro.crypto.ThresholdScheme` with
+    k = 2f+1; the leader of the view drives the four QC phases.
+    """
+
+    def __init__(self, sim, network, name, peers, f, scheme,
+                 state_machine_factory=None):
+        super().__init__(sim, network, name)
+        self.peers = list(peers)
+        self.n = len(self.peers)
+        if self.n < 3 * f + 1:
+            raise ConfigurationError(
+                "HotStuff needs n >= 3f+1 (n=%d, f=%d)" % (self.n, f)
+            )
+        self.f = f
+        self.quorum = 2 * f + 1
+        self.scheme = scheme
+        self.view = 0
+        self.decided_ops = []
+        if state_machine_factory is None:
+            from .multipaxos import ListStateMachine
+            state_machine_factory = ListStateMachine
+        self.state_machine = state_machine_factory()
+
+        # Leader state
+        self._queue = []  # pending client requests
+        self._current = None  # (node_hash, operation, client)
+        self._phase_index = 0
+        self._votes = {}  # (phase, node_hash) -> [partials]
+        self._busy = False
+
+    @property
+    def leader_name(self):
+        return self.peers[self.view % self.n]
+
+    @property
+    def is_leader(self):
+        return self.leader_name == self.name
+
+    # -- client requests ------------------------------------------------------
+
+    def handle_hsrequest(self, msg, src):
+        if not self.is_leader:
+            self.send(self.leader_name, msg)
+            return
+        self._queue.append(msg)
+        self._maybe_start()
+
+    def _maybe_start(self):
+        if self._busy or not self._queue:
+            return
+        request = self._queue.pop(0)
+        node_hash = sha256_hex(self.view, request.operation, request.client)
+        self._current = (node_hash, request.operation, request.client)
+        self._busy = True
+        self._phase_index = 0
+        self._broadcast_phase(justify=None)
+
+    def _broadcast_phase(self, justify):
+        phase = BASIC_PHASES[self._phase_index]
+        node_hash, operation, _client = self._current
+        if self.network.metrics is not None:
+            self.network.metrics.mark_phase("hotstuff", phase, self.sim.now)
+        message = HsPhaseMsg(self.view, phase, node_hash, operation, justify)
+        for peer in self.peers:
+            if peer != self.name:
+                self.send(peer, message)
+        self._on_phase_msg(message)  # leader processes its own broadcast
+
+    # -- replica side -----------------------------------------------------------
+
+    def handle_hsphasemsg(self, msg, src):
+        if src != self.leader_name:
+            return
+        self._on_phase_msg(msg)
+
+    def _on_phase_msg(self, msg):
+        # Verify the QC chaining: every phase after prepare must carry a
+        # valid QC over the previous phase for the same node.
+        phase_index = BASIC_PHASES.index(msg.phase)
+        if phase_index > 0:
+            previous = BASIC_PHASES[phase_index - 1]
+            if msg.justify is None or not self.scheme.verify(
+                msg.justify, msg.view, previous, msg.node_hash
+            ):
+                return
+        if msg.phase == "decide":
+            self._execute(msg)
+            return
+        partial = self.scheme.sign_share(
+            self.name, msg.view, msg.phase, msg.node_hash
+        )
+        vote = HsVote(msg.view, msg.phase, msg.node_hash, partial)
+        if self.is_leader:
+            self.handle_hsvote(vote, self.name)
+        else:
+            self.send(self.leader_name, vote)
+
+    def handle_hsvote(self, msg, src):
+        if not self.is_leader or self._current is None:
+            return
+        if msg.node_hash != self._current[0]:
+            return
+        key = (msg.phase, msg.node_hash)
+        partials = self._votes.setdefault(key, [])
+        partials.append(msg.partial)
+        if len(partials) < self.quorum:
+            return
+        if msg.phase != BASIC_PHASES[self._phase_index]:
+            return  # stale extra votes
+        qc = self.scheme.combine(partials, msg.view, msg.phase, msg.node_hash)
+        self._phase_index += 1
+        self._broadcast_phase(justify=qc)
+
+    def _execute(self, msg):
+        result = self.state_machine.apply(msg.operation)
+        self.decided_ops.append(msg.operation)
+        if self.is_leader:
+            _node_hash, _operation, client = self._current
+            self.send(client, HsReply(msg.operation, result))
+            self._current = None
+            self._busy = False
+            self._votes = {}
+            self.view += 1  # leader rotation after a single commit attempt
+            self._rotate_queue()
+        else:
+            self.view += 1
+
+    def _rotate_queue(self):
+        # After rotation the queue must follow the new leader.
+        if self._queue:
+            new_leader = self.leader_name
+            if new_leader != self.name:
+                for request in self._queue:
+                    self.send(new_leader, request)
+                self._queue = []
+            else:
+                self.sim.call_soon(self._maybe_start)
+
+
+class BasicHotStuffClient(Node):
+    """Sends operations one at a time to the current leader (replica 0
+    initially; replicas forward after rotation)."""
+
+    def __init__(self, sim, network, name, replicas, operations):
+        super().__init__(sim, network, name)
+        self.replicas = list(replicas)
+        self.operations = list(operations)
+        self.results = []
+        self.latencies = []
+        self._next = 0
+        self._sent_at = None
+
+    def on_start(self):
+        self._send_next()
+
+    def _send_next(self):
+        if self.done:
+            return
+        self._sent_at = self.sim.now
+        self.send(self.replicas[self._next % len(self.replicas)],
+                  HsRequest(self.operations[self._next], self.name))
+
+    def handle_hsreply(self, msg, src):
+        if self.done or msg.operation != self.operations[self._next]:
+            return
+        self.results.append(msg.result)
+        self.latencies.append(self.sim.now - self._sent_at)
+        self._next += 1
+        self._send_next()
+
+    @property
+    def done(self):
+        return self._next >= len(self.operations)
+
+
+# -- chained / pipelined HotStuff ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class Block:
+    """A chained-HotStuff block: parent pointer + command + justify QC."""
+
+    view: int
+    parent: str  # parent block hash
+    command: object
+    justify_view: int
+    justify: object  # ThresholdSignature over (justify_view, parent)
+
+    @property
+    def hash(self):
+        return sha256_hex(self.view, self.parent, self.command,
+                          self.justify_view)
+
+
+GENESIS = Block(0, "", "genesis", -1, None)
+
+
+@dataclass(frozen=True)
+class Proposal(Message):
+    block: Block
+
+
+@dataclass(frozen=True)
+class GenericVote(Message):
+    view: int
+    block_hash: str
+    partial: object
+
+
+class ChainedHotStuffReplica(Node):
+    """Chained HotStuff with round-robin leader rotation.
+
+    One generic phase per view: the leader proposes a block justified by
+    the highest QC it knows; replicas vote to the *next* leader; the
+    next leader's QC doubles as the next proposal's justification.
+    Commit rule: a block decides when it starts a three-chain of
+    consecutive views (b ← b' ← b'' with QCs all the way).
+    """
+
+    def __init__(self, sim, network, name, peers, f, scheme, commands,
+                 view_timeout=15.0):
+        super().__init__(sim, network, name)
+        self.peers = list(peers)
+        self.n = len(self.peers)
+        if self.n < 3 * f + 1:
+            raise ConfigurationError(
+                "HotStuff needs n >= 3f+1 (n=%d, f=%d)" % (self.n, f)
+            )
+        self.f = f
+        self.quorum = 2 * f + 1
+        self.scheme = scheme
+        self.commands = list(commands)  # shared command queue (replicated)
+        self.view = 1
+        self.blocks = {GENESIS.hash: GENESIS}
+        self.high_qc = (0, GENESIS.hash, None)  # (view, block_hash, qc)
+        self.locked = (0, GENESIS.hash)
+        self.decided = []  # commands in decided order
+        self._votes = {}  # (view, block_hash) -> [partials]
+        self._proposed_views = set()
+        self._last_voted = None  # (view, block_hash) of our latest vote
+        self.view_timeout = view_timeout
+        self._timeout_timer = None
+
+    def leader_of(self, view):
+        return self.peers[view % self.n]
+
+    def on_start(self):
+        if self.leader_of(self.view) == self.name:
+            self.sim.call_soon(self._propose)
+        self._arm_timeout()
+
+    def _arm_timeout(self):
+        if self._timeout_timer is not None:
+            self._timeout_timer.cancel()
+        self._timeout_timer = self.set_timer(self.view_timeout, self._on_timeout)
+
+    def _on_timeout(self):
+        # Pacemaker fallback: advance the view and, if leader, propose on
+        # the highest known QC (handles a crashed leader).
+        self.view += 1
+        # Vote recovery: if our latest vote's QC never materialised (its
+        # collector may be the crashed replica), re-route the vote to the
+        # new view's leader so the chain doesn't lose the block.
+        if self._last_voted is not None and self._last_voted[0] > self.high_qc[0]:
+            voted_view, voted_hash = self._last_voted
+            partial = self.scheme.sign_share(self.name, voted_view, voted_hash)
+            vote = GenericVote(voted_view, voted_hash, partial)
+            new_leader = self.leader_of(self.view)
+            if new_leader == self.name:
+                self.handle_genericvote(vote, self.name)
+            else:
+                self.send(new_leader, vote)
+        if self.leader_of(self.view) == self.name:
+            self._propose()
+        self._arm_timeout()
+
+    def _next_command(self):
+        """First queued command not already on the chain we extend."""
+        on_chain = set()
+        current = self.blocks.get(self.high_qc[1])
+        while current is not None and current.hash != GENESIS.hash:
+            on_chain.add(current.command)
+            current = self.blocks.get(current.parent)
+        for command in self.commands:
+            if command not in on_chain:
+                return command
+        return "noop-%d" % len(on_chain)
+
+    def _propose(self):
+        if self.view in self._proposed_views or self.crashed:
+            return
+        self._proposed_views.add(self.view)
+        qc_view, qc_hash, qc = self.high_qc
+        block = Block(self.view, qc_hash, self._next_command(), qc_view, qc)
+        if self.network.metrics is not None:
+            self.network.metrics.mark_phase("hotstuff-chained", "propose",
+                                            self.sim.now)
+        proposal = Proposal(block)
+        for peer in self.peers:
+            if peer != self.name:
+                self.send(peer, proposal)
+        self.handle_proposal(proposal, self.name)
+
+    def handle_proposal(self, msg, src):
+        block = msg.block
+        if src != self.leader_of(block.view):
+            return
+        if block.view < self.view:
+            return
+        # Verify the justify QC.
+        if block.justify_view > 0:
+            if block.justify is None or not self.scheme.verify(
+                block.justify, block.justify_view, block.parent
+            ):
+                return
+        self.blocks[block.hash] = block
+        self._update_high_qc(block.justify_view, block.parent, block.justify)
+        # Safety rule: vote only if the block extends the locked block or
+        # carries a QC newer than the lock.
+        if not (self._extends(block, self.locked[1])
+                or block.justify_view > self.locked[0]):
+            return
+        self.view = max(self.view, block.view)
+        self._arm_timeout()
+        self._try_commit(block)
+        partial = self.scheme.sign_share(self.name, block.view, block.hash)
+        vote = GenericVote(block.view, block.hash, partial)
+        self._last_voted = (block.view, block.hash)
+        next_leader = self.leader_of(block.view + 1)
+        if next_leader == self.name:
+            self.handle_genericvote(vote, self.name)
+        else:
+            self.send(next_leader, vote)
+
+    def _extends(self, block, ancestor_hash):
+        current = block
+        for _ in range(len(self.blocks) + 1):
+            if current.hash == ancestor_hash or current.parent == ancestor_hash:
+                return True
+            parent = self.blocks.get(current.parent)
+            if parent is None:
+                return False
+            current = parent
+        return False
+
+    def handle_genericvote(self, msg, src):
+        key = (msg.view, msg.block_hash)
+        partials = self._votes.setdefault(key, [])
+        partials.append(msg.partial)
+        if len(partials) != self.quorum:
+            return
+        qc = self.scheme.combine(partials, msg.view, msg.block_hash)
+        self._update_high_qc(msg.view, msg.block_hash, qc)
+        self.view = max(self.view, msg.view + 1)
+        self._arm_timeout()
+        if self.leader_of(self.view) == self.name:
+            self._propose()
+
+    def _update_high_qc(self, view, block_hash, qc):
+        if qc is not None and view > self.high_qc[0]:
+            self.high_qc = (view, block_hash, qc)
+            # Two-chain lock: lock the parent of the newly certified block.
+            block = self.blocks.get(block_hash)
+            if block is not None:
+                parent = self.blocks.get(block.parent)
+                if parent is not None and parent.view > self.locked[0]:
+                    self.locked = (parent.view, parent.hash)
+
+    def _try_commit(self, block):
+        """Three-chain commit: b'' ← b' ← b with consecutive views."""
+        b1 = self.blocks.get(block.parent)  # certified by block.justify
+        if b1 is None or block.justify_view != b1.view:
+            return
+        b2 = self.blocks.get(b1.parent)
+        if b2 is None or b1.justify_view != b2.view:
+            return
+        b3 = self.blocks.get(b2.parent)
+        if b3 is None or b2.justify_view != b3.view:
+            return
+        if b1.view == b2.view + 1 and b2.view == b3.view + 1:
+            self._commit_chain(b3)
+
+    def _commit_chain(self, block):
+        chain = []
+        current = block
+        while current is not None and current.command not in self.decided \
+                and current.hash != GENESIS.hash:
+            chain.append(current)
+            current = self.blocks.get(current.parent)
+        for blk in reversed(chain):
+            if blk.command != "genesis":
+                self.decided.append(blk.command)
+
+
+# -- drivers -----------------------------------------------------------------
+
+
+@dataclass
+class HotStuffResult:
+    replicas: list
+    clients: list
+    messages: int
+    duration: float
+
+    def decided_logs(self):
+        return [r.decided_ops if hasattr(r, "decided_ops") else r.decided
+                for r in self.replicas]
+
+    def logs_consistent(self):
+        logs = self.decided_logs()
+        # Prefix consistency: any two logs agree on their common prefix.
+        for log_a in logs:
+            for log_b in logs:
+                for x, y in zip(log_a, log_b):
+                    if x != y:
+                        return False
+        return True
+
+
+def run_basic_hotstuff(cluster, f=1, operations=3, horizon=2000.0):
+    """Drive basic HotStuff through ``operations`` sequential commands."""
+    n = 3 * f + 1
+    names = ["r%d" % i for i in range(n)]
+    scheme = ThresholdScheme(2 * f + 1, names)
+    replicas = cluster.add_nodes(BasicHotStuffReplica, names, names, f, scheme)
+    client = cluster.add_node(
+        BasicHotStuffClient, "c0", names,
+        ["op-%d" % i for i in range(operations)],
+    )
+    cluster.start_all()
+    cluster.run_until(lambda: client.done, until=horizon)
+    return HotStuffResult(
+        replicas=replicas,
+        clients=[client],
+        messages=cluster.metrics.messages_total,
+        duration=cluster.now,
+    )
+
+
+def run_chained_hotstuff(cluster, f=1, commands=8, crash_leader_at=None,
+                         horizon=3000.0):
+    """Drive chained HotStuff until every command is decided everywhere
+    alive."""
+    n = 3 * f + 1
+    names = ["r%d" % i for i in range(n)]
+    scheme = ThresholdScheme(2 * f + 1, names)
+    command_list = ["cmd-%d" % i for i in range(commands)]
+    replicas = cluster.add_nodes(
+        ChainedHotStuffReplica, names, names, f, scheme, command_list
+    )
+    if crash_leader_at is not None:
+        def crash_leader():
+            for replica in replicas:
+                if replica.leader_of(replica.view) == replica.name:
+                    replica.crash()
+                    return
+            replicas[1].crash()
+        cluster.sim.schedule(crash_leader_at, crash_leader)
+
+    def all_decided():
+        return all(
+            set(command_list) <= set(r.decided)
+            for r in replicas
+            if not r.crashed
+        )
+
+    cluster.start_all()
+    cluster.run_until(all_decided, until=horizon)
+    return HotStuffResult(
+        replicas=replicas,
+        clients=[],
+        messages=cluster.metrics.messages_total,
+        duration=cluster.now,
+    )

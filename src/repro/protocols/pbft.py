@@ -1,0 +1,794 @@
+"""Practical Byzantine Fault Tolerance (Castro & Liskov, OSDI '99).
+
+The slides' summary, implemented in full:
+
+* **3f+1 replicas, quorums of 2f+1, intersection f+1** — so any two
+  quorums share at least one *correct* replica.
+* Three phases: **pre-prepare** picks the order (the primary assigns a
+  sequence number), **prepare** ensures order within a view (2f matching
+  prepares + the pre-prepare), **commit** ensures order across views
+  (2f+1 commits).  A replica executes a request once it is committed and
+  every lower sequence number has been executed, then replies to the
+  client, which waits for **f+1 matching replies**.
+* **View change** provides liveness when the primary fails: timeouts
+  trigger VIEW-CHANGE messages carrying prepared certificates; the new
+  primary needs 2f+1 of them and broadcasts NEW-VIEW with proof,
+  re-proposing every prepared request.  Message complexity O(n²) in the
+  normal case and O(n³) for view change (n² messages × O(n) certificate
+  size).
+* **Garbage collection**: replicas periodically checkpoint and a
+  checkpoint becomes *stable* with 2f+1 matching CHECKPOINT messages,
+  letting the log be truncated.
+
+Why Paxos cannot simply be reused (the slides' question): a malicious
+primary can assign the same sequence number to different requests, and
+a Paxos majority quorum's intersection may contain only faulty nodes.
+PBFT fixes both with the extra phase and the bigger quorum; the
+``equivocate`` Byzantine primary behaviour in this module demonstrates
+the attack and the defence.
+"""
+
+from dataclasses import dataclass
+
+from ..core.exceptions import ConfigurationError
+from ..core.node import Node
+from ..core.registry import register_profile
+from ..core.taxonomy import (
+    Awareness,
+    FailureModel,
+    ProtocolProfile,
+    Strategy,
+    Synchrony,
+)
+from ..crypto.hashing import sha256_hex
+from ..net.message import Message
+
+PROFILE = register_profile(
+    ProtocolProfile(
+        name="pbft",
+        synchrony=Synchrony.PARTIALLY_SYNCHRONOUS,
+        failure_model=FailureModel.BYZANTINE,
+        strategy=Strategy.PESSIMISTIC,
+        awareness=Awareness.KNOWN,
+        nodes_label="3f+1",
+        phases=3,
+        complexity="O(N^2)",
+        notes="view change O(N^3); client waits for f+1 matching replies",
+    )
+)
+
+
+# -- messages ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PbftRequest(Message):
+    operation: object
+    timestamp: float
+    client: str
+    #: Client signature over (operation, timestamp, client).  When the
+    #: cluster runs with a key registry, replicas refuse unsigned or
+    #: forged requests — the defence that stops a Byzantine primary from
+    #: fabricating operations (see ForgingPrimary for the attack).
+    signature: object = None
+
+
+@dataclass(frozen=True)
+class PrePrepare(Message):
+    view: int
+    seq: int
+    digest: str
+    request: PbftRequest
+
+
+@dataclass(frozen=True)
+class PbftPrepare(Message):
+    view: int
+    seq: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class PbftCommit(Message):
+    view: int
+    seq: int
+    digest: str
+
+
+@dataclass(frozen=True)
+class PbftReply(Message):
+    view: int
+    timestamp: float
+    client: str
+    replica: str
+    result: object
+
+
+@dataclass(frozen=True)
+class Checkpoint(Message):
+    seq: int
+    state_digest: str
+
+
+@dataclass(frozen=True)
+class ViewChange(Message):
+    new_view: int
+    last_stable_seq: int
+    prepared_proofs: tuple  # ((seq, digest, view), ...)
+
+
+@dataclass(frozen=True)
+class NewView(Message):
+    view: int
+    view_change_senders: tuple
+    pre_prepares: tuple  # ((seq, digest, request), ...)
+
+
+def request_digest(request):
+    return sha256_hex(request.operation, request.timestamp, request.client)
+
+
+NULL_DIGEST = "null"
+NULL_REQUEST = PbftRequest("no-op", -1.0, "_null")
+
+
+class _SlotState:
+    """Per-(seq) agreement bookkeeping.
+
+    ``prepared_proof`` survives view changes: it is the (view, digest,
+    request) of the highest view in which this replica prepared the slot,
+    and is what VIEW-CHANGE messages carry — without it, a second view
+    change could lose a possibly-committed request and violate safety.
+    """
+
+    __slots__ = ("digest", "request", "pre_prepared", "prepares", "commits",
+                 "prepared", "committed", "executed", "prepared_proof")
+
+    def __init__(self):
+        self.digest = None
+        self.request = None
+        self.pre_prepared = False
+        self.prepares = set()
+        self.commits = set()
+        self.prepared = False
+        self.committed = False
+        self.executed = False
+        self.prepared_proof = None  # (view, digest, request)
+
+
+class PbftReplica(Node):
+    """One PBFT replica (primary when ``view % n == index``).
+
+    Parameters
+    ----------
+    peers:
+        All replica names, index order fixed; primary of view v is
+        ``peers[v % n]``.
+    f:
+        Tolerated Byzantine faults; requires n >= 3f+1.
+    checkpoint_interval:
+        Checkpoint every this-many executed requests.
+    """
+
+    VIEW_CHANGE_TIMEOUT = 20.0
+
+    def __init__(self, sim, network, name, peers, f,
+                 state_machine_factory=None, checkpoint_interval=16,
+                 keys=None):
+        super().__init__(sim, network, name)
+        self.keys = keys  # KeyRegistry for client-request verification
+        self.peers = list(peers)
+        self.n = len(self.peers)
+        if self.n < 3 * f + 1:
+            raise ConfigurationError(
+                "PBFT needs n >= 3f+1 (n=%d, f=%d)" % (self.n, f)
+            )
+        self.f = f
+        self.quorum = 2 * f + 1
+        self.index = self.peers.index(name)
+        if state_machine_factory is None:
+            from .multipaxos import ListStateMachine
+            state_machine_factory = ListStateMachine
+        self.state_machine = state_machine_factory()
+        self.checkpoint_interval = checkpoint_interval
+
+        self.view = 0
+        self.next_seq = 0
+        self.slots = {}  # seq -> _SlotState
+        self.last_executed = -1
+        self.last_stable_seq = -1
+        self.executed_requests = []
+        self._seen_digests = {}  # digest -> seq (dedup at every replica)
+        self._last_reply = {}  # (client, timestamp) -> PbftReply cache
+        self._checkpoint_votes = {}  # seq -> {replica: digest}
+        self._own_checkpoints = {}  # seq -> digest
+        self._view_changes = {}  # new_view -> {sender: ViewChange}
+        self._view_change_timer = None
+        self._pending_requests = {}  # digest -> PbftRequest (awaiting order)
+        self._future_preprepares = []  # stashed until the NEW-VIEW arrives
+        self.view_changes_completed = 0
+
+    # -- roles --------------------------------------------------------------
+
+    @property
+    def primary_name(self):
+        return self.peers[self.view % self.n]
+
+    @property
+    def is_primary(self):
+        return self.primary_name == self.name
+
+    # -- client requests -------------------------------------------------------
+
+    def _request_authentic(self, request):
+        """With a key registry, only properly client-signed requests (or
+        protocol no-ops) are acceptable."""
+        if self.keys is None:
+            return True
+        if request.client == "_null":
+            return True
+        return self.keys.verify(request.signature, "pbft-request",
+                                request.operation, request.timestamp,
+                                request.client)
+
+    def handle_pbftrequest(self, msg, src):
+        if not self._request_authentic(msg):
+            return
+        digest = request_digest(msg)
+        cached = self._last_reply.get((msg.client, msg.timestamp))
+        if cached is not None:
+            # Standard PBFT dedup: retransmit the cached reply rather than
+            # re-ordering (and rather than re-arming liveness timers).
+            self.send(msg.client, cached)
+            return
+        if digest in self._seen_digests:
+            return  # already ordered / in progress
+        if self.is_primary:
+            self._assign(msg, digest)
+        else:
+            # Backup: remember the request and start the view-change timer;
+            # if the primary never orders it, liveness machinery kicks in.
+            self._pending_requests[digest] = msg
+            self._arm_view_change_timer()
+
+    def _assign(self, request, digest):
+        seq = self.next_seq
+        self.next_seq += 1
+        self._seen_digests[digest] = seq
+        if self.network.metrics is not None:
+            self.network.metrics.mark_phase("pbft", "pre-prepare", self.sim.now)
+        message = PrePrepare(self.view, seq, digest, request)
+        self._accept_pre_prepare(message)
+        for peer in self.peers:
+            if peer != self.name:
+                self.send(peer, message)
+
+    # -- phase 1: pre-prepare ---------------------------------------------------
+
+    def handle_preprepare(self, msg, src):
+        if msg.view > self.view:
+            # We have not seen the NEW-VIEW yet; hold the proposal until
+            # the view catches up instead of dropping it.
+            self._future_preprepares.append((msg, src))
+            return
+        if src != self.primary_name or msg.view != self.view:
+            return
+        if msg.digest != NULL_DIGEST and request_digest(msg.request) != msg.digest:
+            return  # corrupted proposal
+        if msg.digest != NULL_DIGEST and not self._request_authentic(msg.request):
+            return  # fabricated request: the primary cannot forge clients
+        slot = self.slots.get(msg.seq)
+        if slot is not None and slot.executed:
+            return  # already executed this sequence number
+        if slot is not None and slot.digest is not None and slot.digest != msg.digest:
+            # Equivocation detected: the primary assigned this sequence
+            # number to a different request already.  Refuse and push for
+            # a view change.
+            self._arm_view_change_timer()
+            return
+        self._accept_pre_prepare(msg)
+        if self.network.metrics is not None:
+            self.network.metrics.mark_phase("pbft", "prepare", self.sim.now)
+        prepare = PbftPrepare(msg.view, msg.seq, msg.digest)
+        self._record_prepare(msg.seq, msg.digest, self.name)
+        for peer in self.peers:
+            if peer != self.name:
+                self.send(peer, prepare)
+
+    def _accept_pre_prepare(self, msg):
+        slot = self.slots.setdefault(msg.seq, _SlotState())
+        slot.digest = msg.digest
+        slot.request = msg.request
+        slot.pre_prepared = True
+        # The pre-prepare doubles as the primary's prepare vote.
+        slot.prepares.add(self.primary_name)
+        self._seen_digests[msg.digest] = msg.seq
+        self._pending_requests.pop(msg.digest, None)
+        # A backup that accepted a client request keeps a timer running
+        # until the request executes — otherwise a primary that orders
+        # but never completes (e.g. by equivocating on sequence numbers)
+        # would stall the system forever.
+        if not self.is_primary and msg.request is not None \
+                and msg.request.client != "_null":
+            self._arm_view_change_timer()
+        self._maybe_prepared(msg.seq)
+
+    def _has_unexecuted_client_slots(self):
+        return any(
+            slot.pre_prepared and not slot.executed
+            and slot.request is not None and slot.request.client != "_null"
+            for slot in self.slots.values()
+        )
+
+    # -- phase 2: prepare ----------------------------------------------------
+
+    def handle_pbftprepare(self, msg, src):
+        if msg.view != self.view:
+            return
+        self._record_prepare(msg.seq, msg.digest, src)
+
+    def _record_prepare(self, seq, digest, sender):
+        slot = self.slots.setdefault(seq, _SlotState())
+        if slot.digest is not None and slot.digest != digest:
+            return  # prepare for a conflicting digest: ignore
+        slot.prepares.add(sender)
+        self._maybe_prepared(seq)
+
+    def _maybe_prepared(self, seq):
+        slot = self.slots.get(seq)
+        if slot is None or slot.prepared or not slot.pre_prepared:
+            return
+        # prepared == pre-prepare + 2f prepares (incl. own) == quorum votes
+        if len(slot.prepares) >= self.quorum:
+            slot.prepared = True
+            slot.prepared_proof = (self.view, slot.digest, slot.request)
+            if self.network.metrics is not None:
+                self.network.metrics.mark_phase("pbft", "commit", self.sim.now)
+            commit = PbftCommit(self.view, seq, slot.digest)
+            self._record_commit(seq, slot.digest, self.name)
+            for peer in self.peers:
+                if peer != self.name:
+                    self.send(peer, commit)
+
+    # -- phase 3: commit --------------------------------------------------------
+
+    def handle_pbftcommit(self, msg, src):
+        if msg.view != self.view:
+            return
+        self._record_commit(msg.seq, msg.digest, src)
+
+    def _record_commit(self, seq, digest, sender):
+        slot = self.slots.setdefault(seq, _SlotState())
+        if slot.digest is not None and slot.digest != digest:
+            return
+        slot.commits.add(sender)
+        self._maybe_committed(seq)
+
+    def _maybe_committed(self, seq):
+        slot = self.slots.get(seq)
+        if slot is None or slot.committed or not slot.prepared:
+            return
+        if len(slot.commits) >= self.quorum:
+            slot.committed = True
+            self._execute_ready()
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute_ready(self):
+        while True:
+            seq = self.last_executed + 1
+            slot = self.slots.get(seq)
+            if slot is None or not slot.committed or slot.executed:
+                return
+            slot.executed = True
+            self.last_executed = seq
+            request = slot.request
+            if request is not None and request.client != "_null":
+                result = self.state_machine.apply(request.operation)
+                self.executed_requests.append((seq, request.operation))
+                reply = PbftReply(self.view, request.timestamp, request.client,
+                                  self.name, result)
+                self._last_reply[(request.client, request.timestamp)] = reply
+                self.send(request.client, reply)
+            if self._view_change_timer is not None \
+                    and not self._pending_requests \
+                    and not self._has_unexecuted_client_slots():
+                self._view_change_timer.cancel()
+                self._view_change_timer = None
+            if (seq + 1) % self.checkpoint_interval == 0:
+                self._take_checkpoint(seq)
+
+    # -- checkpoints / garbage collection ------------------------------------
+
+    def _take_checkpoint(self, seq):
+        digest = sha256_hex([op for _seq, op in self.executed_requests])
+        self._own_checkpoints[seq] = digest
+        self._record_checkpoint_vote(seq, digest, self.name)
+        message = Checkpoint(seq, digest)
+        for peer in self.peers:
+            if peer != self.name:
+                self.send(peer, message)
+
+    def handle_checkpoint(self, msg, src):
+        self._record_checkpoint_vote(msg.seq, msg.state_digest, src)
+
+    def _record_checkpoint_vote(self, seq, digest, sender):
+        votes = self._checkpoint_votes.setdefault(seq, {})
+        votes[sender] = digest
+        matching = [s for s, d in votes.items() if d == digest]
+        if len(matching) >= self.quorum and seq > self.last_stable_seq:
+            self._stabilise_checkpoint(seq)
+
+    def _stabilise_checkpoint(self, seq):
+        """2f+1 matching checkpoints: discard log entries up to seq."""
+        self.last_stable_seq = seq
+        for old_seq in [s for s in self.slots if s <= seq]:
+            del self.slots[old_seq]
+        for old_seq in [s for s in self._checkpoint_votes if s < seq]:
+            del self._checkpoint_votes[old_seq]
+
+    # -- view change ------------------------------------------------------------
+
+    def _arm_view_change_timer(self):
+        if self._view_change_timer is not None:
+            return
+        self._view_change_timer = self.set_timer(
+            self.VIEW_CHANGE_TIMEOUT, self._start_view_change
+        )
+
+    def _start_view_change(self):
+        self._view_change_timer = None
+        self._send_view_change(self.view + 1)
+
+    def _send_view_change(self, new_view):
+        proofs = tuple(
+            (seq, slot.prepared_proof[1], slot.prepared_proof[0],
+             slot.prepared_proof[2])
+            for seq, slot in sorted(self.slots.items())
+            if slot.prepared_proof is not None and not slot.executed
+        )
+        if self.network.metrics is not None:
+            self.network.metrics.mark_phase("pbft", "view-change", self.sim.now)
+        message = ViewChange(new_view, self.last_stable_seq, proofs)
+        self._record_view_change(message, self.name)
+        for peer in self.peers:
+            if peer != self.name:
+                self.send(peer, message)
+
+    def handle_viewchange(self, msg, src):
+        if msg.new_view <= self.view:
+            return
+        self._record_view_change(msg, src)
+        # Joining amplification: if f+1 replicas want a newer view, join in
+        # (standard PBFT liveness rule).
+        votes = self._view_changes.get(msg.new_view, {})
+        if len(votes) >= self.f + 1 and self.name not in votes:
+            self._send_view_change(msg.new_view)
+
+    def _record_view_change(self, msg, sender):
+        votes = self._view_changes.setdefault(msg.new_view, {})
+        votes[sender] = msg
+        new_primary = self.peers[msg.new_view % self.n]
+        if new_primary != self.name:
+            return
+        if len(votes) >= self.quorum and msg.new_view > self.view:
+            self._become_primary(msg.new_view, dict(votes))
+
+    def _become_primary(self, new_view, votes):
+        # Gather every prepared request from the certificates and
+        # re-propose it in the new view (highest-view proof wins per seq).
+        best = {}  # seq -> (view, digest, request)
+        min_stable = max(vc.last_stable_seq for vc in votes.values())
+        for vc in votes.values():
+            for seq, digest, view, request in vc.prepared_proofs:
+                if seq <= min_stable:
+                    continue
+                current = best.get(seq)
+                if current is None or view > current[0]:
+                    best[seq] = (view, digest, request)
+        max_seq = max(best.keys(), default=min_stable)
+        max_seq = max(max_seq, self.last_executed)
+        pre_prepares = []
+        for seq in range(min_stable + 1, max_seq + 1):
+            if seq in best:
+                _view, digest, request = best[seq]
+                pre_prepares.append((seq, digest, request))
+            else:
+                slot = self.slots.get(seq)
+                if slot is not None and slot.executed:
+                    # Locally executed: its digest is committed; carry it.
+                    pre_prepares.append((seq, slot.digest, slot.request))
+                else:
+                    pre_prepares.append((seq, NULL_DIGEST, NULL_REQUEST))
+        self.view = new_view
+        self.view_changes_completed += 1
+        self.next_seq = max_seq + 1
+        self._enter_view(pre_prepares)
+        message = NewView(new_view, tuple(sorted(votes)), tuple(pre_prepares))
+        for peer in self.peers:
+            if peer != self.name:
+                self.send(peer, message)
+        # Locally run the agreement for the carried-over proposals (the
+        # pre-prepare is implicit in the NEW-VIEW for the backups).
+        for seq, digest, request in pre_prepares:
+            self._accept_pre_prepare(
+                PrePrepare(new_view, seq, digest,
+                           request if request is not None else NULL_REQUEST)
+            )
+        # Re-propose any requests still waiting for an order.
+        for digest, request in list(self._pending_requests.items()):
+            if digest not in self._seen_digests:
+                self._assign(request, digest)
+        self._replay_future_preprepares()
+
+    def handle_newview(self, msg, src):
+        new_primary = self.peers[msg.view % self.n]
+        if src != new_primary or msg.view <= self.view:
+            return
+        if len(msg.view_change_senders) < self.quorum:
+            return  # insufficient proof
+        self.view = msg.view
+        self.view_changes_completed += 1
+        max_seq = max((seq for seq, _d, _r in msg.pre_prepares),
+                      default=self.last_executed)
+        self.next_seq = max_seq + 1
+        self._enter_view(msg.pre_prepares)
+        # Run the prepare phase for the re-proposed requests.
+        for seq, digest, request in msg.pre_prepares:
+            self.handle_preprepare(
+                PrePrepare(msg.view, seq, digest,
+                           request if request is not None else NULL_REQUEST),
+                src,
+            )
+        self._replay_future_preprepares()
+        # Forward orphaned requests to the new primary so they don't have
+        # to wait for a client retransmission.
+        for request in self._pending_requests.values():
+            self.send(src, request)
+
+    def _replay_future_preprepares(self):
+        stashed, self._future_preprepares = self._future_preprepares, []
+        for msg, src in stashed:
+            if msg.view >= self.view:
+                self.handle_preprepare(msg, src)
+
+    def _enter_view(self, pre_prepares):
+        if self._view_change_timer is not None:
+            self._view_change_timer.cancel()
+            self._view_change_timer = None
+        # Agreement state is re-earned in the new view, but prepared
+        # proofs persist (they may certify a committed request).  Any
+        # request *not* carried over and *not* locally prepared goes back
+        # to the pending pool so it can be re-ordered from scratch.
+        carried = {digest for _seq, digest, _request in pre_prepares}
+        for seq in list(self.slots):
+            slot = self.slots[seq]
+            if slot.executed:
+                continue
+            if (slot.digest is not None and slot.digest not in carried
+                    and slot.prepared_proof is None):
+                self._seen_digests.pop(slot.digest, None)
+                if slot.request is not None and slot.request.client != "_null":
+                    self._pending_requests[slot.digest] = slot.request
+                del self.slots[seq]
+                continue
+            slot.prepares = set()
+            slot.commits = set()
+            slot.prepared = False
+            slot.pre_prepared = False
+            slot.digest = None
+            slot.request = None
+        if self._pending_requests and not self.is_primary:
+            self._arm_view_change_timer()
+
+
+# -- Byzantine primaries -------------------------------------------------------
+
+
+class EquivocatingPrimary(PbftReplica):
+    """A malicious primary that equivocates on *ordering*: it tells half
+    the replicas a request has sequence number k and the other half k+1.
+    Neither assignment can gather 2f+1 prepares, the request stalls, the
+    backups' timers fire, and a view change removes the attacker — the
+    attack the slides use to motivate the prepare phase."""
+
+    def _assign(self, request, digest):
+        seq = self.next_seq
+        self.next_seq += 2
+        self._seen_digests[digest] = seq
+        half = len(self.peers) // 2
+        for position, peer in enumerate(self.peers):
+            if peer == self.name:
+                continue
+            assigned = seq if position < half else seq + 1
+            self.send(peer, PrePrepare(self.view, assigned, digest, request))
+        # The faulty primary does not follow the protocol locally.
+
+
+class ForgingPrimary(PbftReplica):
+    """A malicious primary that *fabricates* a request no client sent and
+    assigns the same sequence number to the real and fake requests for
+    different halves.  Against an unauthenticated cluster (keys=None) the
+    fabricated operation can actually commit; with client signatures the
+    honest replicas refuse the forged pre-prepare outright — the library's
+    demonstration of why PBFT requests are signed."""
+
+    def _assign(self, request, digest):
+        seq = self.next_seq
+        self.next_seq += 1
+        self._seen_digests[digest] = seq
+        fake = PbftRequest(("forged-op",), request.timestamp, request.client,
+                           signature=request.signature)  # stolen, stale sig
+        fake_digest = request_digest(fake)
+        half = len(self.peers) // 2
+        for position, peer in enumerate(self.peers):
+            if peer == self.name:
+                continue
+            if position < half:
+                self.send(peer, PrePrepare(self.view, seq, digest, request))
+            else:
+                self.send(peer, PrePrepare(self.view, seq, fake_digest, fake))
+
+
+class SilentPrimary(PbftReplica):
+    """A primary that accepts requests and never orders them — the
+    failure that exercises the view-change path."""
+
+    def _assign(self, request, digest):
+        self._seen_digests[digest] = self.next_seq  # swallow silently
+
+
+class PbftClient(Node):
+    """PBFT client: sends to the primary, accepts f+1 matching replies,
+    broadcasts to all replicas on timeout (the standard liveness path)."""
+
+    def __init__(self, sim, network, name, replicas, operations, f,
+                 retry_timeout=30.0, signer=None):
+        super().__init__(sim, network, name)
+        self.replicas = list(replicas)
+        self.operations = list(operations)
+        self.f = f
+        self.retry_timeout = retry_timeout
+        self.signer = signer  # signs requests when the cluster verifies them
+        self.results = []
+        self.latencies = []
+        self._next = 0
+        self._replies = {}
+        self._sent_at = None
+        self._timer = None
+        self._broadcasted = False
+
+    def on_start(self):
+        self._send_next()
+
+    def _current_request(self):
+        # Timestamp doubles as the request identifier.
+        operation = self.operations[self._next]
+        timestamp = float(self._next)
+        signature = None
+        if self.signer is not None:
+            signature = self.signer.sign("pbft-request", operation, timestamp,
+                                         self.name)
+        return PbftRequest(operation, timestamp, self.name, signature)
+
+    def _send_next(self):
+        if self.done:
+            return
+        self._replies = {}
+        self._sent_at = self.sim.now
+        self._broadcasted = False
+        self.send(self.replicas[0], self._current_request())
+        self._arm_timer()
+
+    def _arm_timer(self):
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.set_timer(self.retry_timeout, self._retry)
+
+    def _retry(self):
+        if self.done:
+            return
+        # Retransmit to every replica; backups will force a view change
+        # if the primary is the problem.
+        self._broadcasted = True
+        self.multicast(self.replicas, self._current_request())
+        self._arm_timer()
+
+    def handle_pbftreply(self, msg, src):
+        if self.done or msg.timestamp != float(self._next):
+            return
+        self._replies[src] = msg.result
+        matching = {}
+        for result in self._replies.values():
+            key = repr(result)
+            matching[key] = matching.get(key, 0) + 1
+        if max(matching.values()) >= self.f + 1:
+            self.results.append(self._replies[src])
+            self.latencies.append(self.sim.now - self._sent_at)
+            self._next += 1
+            if self._timer is not None:
+                self._timer.cancel()
+            self._send_next()
+
+    @property
+    def done(self):
+        return self._next >= len(self.operations)
+
+
+# -- driver -----------------------------------------------------------------
+
+
+@dataclass
+class PbftResult:
+    replicas: list
+    clients: list
+    messages: int
+    duration: float
+
+    def honest_replicas(self):
+        return [
+            r for r in self.replicas
+            if type(r) is PbftReplica and not r.crashed
+        ]
+
+    def executed_logs(self):
+        return [r.executed_requests for r in self.honest_replicas()]
+
+    def logs_consistent(self):
+        merged = {}
+        for log in self.executed_logs():
+            for seq, op in log:
+                if seq in merged and merged[seq] != op:
+                    return False
+                merged[seq] = op
+        return True
+
+
+def run_pbft(
+    cluster,
+    f=1,
+    n_clients=1,
+    operations_per_client=3,
+    primary_class=PbftReplica,
+    crash_primary_at=None,
+    horizon=3000.0,
+    checkpoint_interval=16,
+    authenticate_clients=False,
+):
+    """Drive a PBFT cluster; ``primary_class`` selects the replica-0
+    behaviour (honest, equivocating, forging, silent).  With
+    ``authenticate_clients`` replicas verify client signatures via the
+    cluster's key registry."""
+    n = 3 * f + 1
+    names = ["r%d" % i for i in range(n)]
+    keys = cluster.keys if authenticate_clients else None
+    replicas = []
+    for i, name in enumerate(names):
+        cls = primary_class if i == 0 else PbftReplica
+        replicas.append(
+            cluster.add_node(cls, name, names, f,
+                             checkpoint_interval=checkpoint_interval,
+                             keys=keys)
+        )
+    clients = [
+        cluster.add_node(
+            PbftClient,
+            "c%d" % i,
+            names,
+            ["op-%d-%d" % (i, j) for j in range(operations_per_client)],
+            f,
+            signer=cluster.keys.signer("c%d" % i) if authenticate_clients
+            else None,
+        )
+        for i in range(n_clients)
+    ]
+    if crash_primary_at is not None:
+        cluster.sim.schedule(crash_primary_at, replicas[0].crash)
+    cluster.start_all()
+    cluster.run_until(lambda: all(c.done for c in clients), until=horizon)
+    return PbftResult(
+        replicas=replicas,
+        clients=clients,
+        messages=cluster.metrics.messages_total,
+        duration=cluster.now,
+    )

@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is deliberately tiny: a virtual clock, a priority queue of
+events (:mod:`repro.sim.events`), and actor-style processes with timers
+(:mod:`repro.sim.process`).  Everything above it — networks, crypto,
+protocols, blockchains — is ordinary Python driven by scheduled callbacks.
+"""
+
+from .errors import (
+    ClockError,
+    EventLimitExceeded,
+    SimulationError,
+    SimulationFinished,
+)
+from .events import Event, EventQueue
+from .process import Process, Timer
+from .simulator import DEFAULT_MAX_EVENTS, Simulator
+
+__all__ = [
+    "ClockError",
+    "DEFAULT_MAX_EVENTS",
+    "Event",
+    "EventLimitExceeded",
+    "EventQueue",
+    "Process",
+    "SimulationError",
+    "SimulationFinished",
+    "Simulator",
+    "Timer",
+]

@@ -1,0 +1,26 @@
+"""Exceptions raised by the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class ClockError(SimulationError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class EventLimitExceeded(SimulationError):
+    """The simulator processed more events than the configured maximum.
+
+    This is the kernel's guard against runaway protocols (e.g. a livelock
+    that never terminates): rather than spinning forever, the run aborts
+    with the number of events processed so the caller can report it.
+    """
+
+    def __init__(self, limit):
+        super().__init__("event limit of %d exceeded" % limit)
+        self.limit = limit
+
+
+class SimulationFinished(SimulationError):
+    """Raised internally to stop the event loop from inside a callback."""

@@ -1,0 +1,86 @@
+"""Events and the pending-event queue.
+
+An :class:`Event` is a callback scheduled at a virtual timestamp.  Events
+at the same timestamp fire in the order they were scheduled (a strictly
+increasing sequence number breaks ties), which keeps every simulation run
+fully deterministic for a given seed.
+"""
+
+import heapq
+import itertools
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`repro.sim.Simulator.schedule`; user
+    code holds them only to :meth:`cancel` them (e.g. to stop a retransmit
+    timer once an ack arrives).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the callback from firing.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def fire(self):
+        """Invoke the callback unless the event has been cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return "Event(t=%.6f, seq=%d, %s, %s)" % (self.time, self.seq, name, state)
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by (time, sequence)."""
+
+    def __init__(self):
+        self._heap = []
+        self._counter = itertools.count()
+
+    def __len__(self):
+        return len(self._heap)
+
+    def push(self, time, callback, args=()):
+        """Enqueue a callback at virtual time ``time`` and return the event."""
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        """Remove and return the earliest pending event.
+
+        Cancelled events are discarded lazily here; returns ``None`` when
+        the queue holds nothing but cancelled events (or is empty).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self):
+        """Return the timestamp of the next live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self):
+        """Drop every pending event."""
+        self._heap.clear()

@@ -1,0 +1,130 @@
+"""Actor-style processes living on a :class:`~repro.sim.Simulator`.
+
+A :class:`Process` is the unit every node, client and miner in the
+library builds on: it owns timers, can be crashed and restarted, and is
+started once at simulation setup.  Subclasses override :meth:`on_start`
+and whatever message handlers their transport dispatches to.
+"""
+
+
+class Timer:
+    """Handle to a (possibly repeating) scheduled callback on a process.
+
+    Timers silently stop firing while their owner is crashed; a restarted
+    process must re-arm its own timers, matching how a real process loses
+    its in-memory timer wheel on failure.
+    """
+
+    def __init__(self, process, delay, callback, args, repeat=False):
+        self._process = process
+        self._delay = delay
+        self._callback = callback
+        self._args = args
+        self._repeat = repeat
+        self._event = None
+        self._cancelled = False
+        self._arm()
+
+    def _arm(self):
+        self._event = self._process.sim.schedule(self._delay, self._fire)
+
+    def _fire(self):
+        if self._cancelled or self._process.crashed:
+            return
+        if self._repeat:
+            self._arm()
+        self._callback(*self._args)
+
+    def cancel(self):
+        """Stop the timer; safe to call repeatedly."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def active(self):
+        return not self._cancelled
+
+
+class Process:
+    """Base class for simulated actors.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.sim.Simulator` this process runs on.
+    name:
+        Stable identifier, used in logs and metrics.
+    """
+
+    def __init__(self, sim, name):
+        self.sim = sim
+        self.name = name
+        self.crashed = False
+        self._timers = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self):
+        """Schedule :meth:`on_start` at the current virtual time."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.call_soon(self._run_start)
+
+    def _run_start(self):
+        if not self.crashed:
+            self.on_start()
+
+    def on_start(self):
+        """Hook invoked once when the process starts.  Default: no-op."""
+
+    def crash(self):
+        """Fail-stop this process: timers die, future messages are dropped."""
+        self.crashed = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers = []
+        self.on_crash()
+
+    def on_crash(self):
+        """Hook invoked when the process crashes.  Default: no-op."""
+
+    def restart(self):
+        """Recover from a crash.
+
+        Volatile state handling is the subclass's job (override
+        :meth:`on_restart`); the kernel only flips the liveness flag.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.on_restart()
+
+    def on_restart(self):
+        """Hook invoked on recovery.  Default: no-op."""
+
+    # -- timers ------------------------------------------------------------
+
+    def set_timer(self, delay, callback, *args):
+        """Arm a one-shot timer firing ``delay`` virtual time units from now."""
+        timer = Timer(self, delay, callback, args, repeat=False)
+        self._timers.append(timer)
+        return timer
+
+    def set_periodic_timer(self, interval, callback, *args):
+        """Arm a repeating timer firing every ``interval`` time units."""
+        timer = Timer(self, interval, callback, args, repeat=True)
+        self._timers.append(timer)
+        return timer
+
+    def cancel_timers(self):
+        """Cancel every timer owned by this process."""
+        for timer in self._timers:
+            timer.cancel()
+        self._timers = []
+
+    def __repr__(self):
+        state = "crashed" if self.crashed else "up"
+        return "%s(%r, %s)" % (type(self).__name__, self.name, state)

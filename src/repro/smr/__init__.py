@@ -1,0 +1,33 @@
+"""State machine replication: KV store, lock service, state machines,
+consistency checks, and the consensus<->broadcast reductions."""
+
+from .checker import (
+    check_log_consistency,
+    check_state_machines,
+    common_prefix_length,
+)
+from .kvstore import ReplicatedKV
+from .linearizability import (
+    Operation,
+    check_linearizable,
+    record_concurrent_history,
+)
+from .lockservice import LockService, LockStateMachine
+from .reductions import AtomicBroadcast, consensus_from_broadcast
+from .state_machine import BankStateMachine, KVStateMachine
+
+__all__ = [
+    "AtomicBroadcast",
+    "BankStateMachine",
+    "KVStateMachine",
+    "LockService",
+    "Operation",
+    "LockStateMachine",
+    "ReplicatedKV",
+    "check_linearizable",
+    "check_log_consistency",
+    "check_state_machines",
+    "common_prefix_length",
+    "consensus_from_broadcast",
+    "record_concurrent_history",
+]

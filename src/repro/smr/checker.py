@@ -1,0 +1,79 @@
+"""Cross-replica consistency checking.
+
+The safety property all SMR experiments assert: replicas' committed logs
+never conflict at any position (prefix consistency), and state machines
+that applied the same prefix hold identical state.
+"""
+
+from ..core.exceptions import SafetyViolation
+
+
+def check_log_consistency(logs, raise_on_violation=False):
+    """Check that committed logs agree position-wise.
+
+    Parameters
+    ----------
+    logs:
+        Iterable of logs, each an iterable of ``(index, value)``.
+
+    Returns ``True`` when consistent.  With ``raise_on_violation`` a
+    :class:`~repro.core.exceptions.SafetyViolation` names the first
+    conflicting index.
+    """
+    merged = {}
+    for log in logs:
+        for index, value in log:
+            if index in merged and merged[index] != value:
+                if raise_on_violation:
+                    raise SafetyViolation(
+                        "index %r decided as both %r and %r"
+                        % (index, merged[index], value)
+                    )
+                return False
+            merged[index] = value
+    return True
+
+
+def check_state_machines(machines, raise_on_violation=False):
+    """Check that replicas which applied equally many commands hold the
+    same state (requires machines exposing ``snapshot()`` and
+    ``ops_applied``)."""
+    by_progress = {}
+    for machine in machines:
+        by_progress.setdefault(machine.ops_applied, []).append(machine)
+    for progress, group in by_progress.items():
+        baseline = group[0].snapshot()
+        for machine in group[1:]:
+            if machine.snapshot() != baseline:
+                if raise_on_violation:
+                    raise SafetyViolation(
+                        "state divergence at %d applied ops" % progress
+                    )
+                return False
+    return True
+
+
+def common_prefix_length(logs):
+    """Length of the longest committed prefix shared by every log."""
+    normalised = []
+    for log in logs:
+        entries = dict(log)
+        prefix = []
+        index = min(entries) if entries else 0
+        # Logs may start at 0 or 1 depending on the protocol's counter.
+        start = 0 if 0 in entries else (1 if 1 in entries else None)
+        if start is None:
+            normalised.append([])
+            continue
+        while start in entries:
+            prefix.append(entries[start])
+            start += 1
+        normalised.append(prefix)
+    if not normalised:
+        return 0
+    shortest = min(len(p) for p in normalised)
+    for position in range(shortest):
+        values = {p[position] for p in normalised}
+        if len(values) > 1:
+            return position
+    return shortest

@@ -1,0 +1,181 @@
+"""ReplicatedKV — the library's headline public API.
+
+A replicated key-value store that a downstream user can spin up on any
+of the library's log-replication protocols in a few lines::
+
+    from repro.smr import ReplicatedKV
+
+    store = ReplicatedKV(n_replicas=3, protocol="multi-paxos", seed=7)
+    store.put("k", "v")
+    assert store.get("k") == "v"
+    store.crash_leader()          # fault injection
+    store.put("k2", "v2")         # still works
+    assert store.check_consistency()
+
+Under the hood each operation is a synchronous client request driven
+through the discrete-event simulator until the reply arrives — i.e.
+"real" protocol traffic, not a shortcut to a dict.
+"""
+
+from ..core.cluster import Cluster
+from ..core.exceptions import LivenessFailure
+from .checker import check_log_consistency, check_state_machines
+from .state_machine import KVStateMachine
+
+_PROTOCOLS = ("multi-paxos", "raft", "pbft")
+
+
+class ReplicatedKV:
+    """A replicated KV store over Multi-Paxos, Raft or PBFT.
+
+    Parameters
+    ----------
+    n_replicas:
+        Cluster size.  For PBFT this must be 3f+1; the largest tolerable
+        f is derived automatically.
+    protocol:
+        One of ``"multi-paxos"``, ``"raft"``, ``"pbft"``.
+    seed:
+        Simulation seed (identical seeds replay identical histories).
+    op_timeout:
+        Virtual-time budget per operation before
+        :class:`~repro.core.exceptions.LivenessFailure` is raised.
+    """
+
+    def __init__(self, n_replicas=3, protocol="multi-paxos", seed=0,
+                 delivery=None, op_timeout=2000.0):
+        if protocol not in _PROTOCOLS:
+            raise ValueError(
+                "protocol must be one of %s" % (_PROTOCOLS,)
+            )
+        self.protocol = protocol
+        self.cluster = Cluster(seed=seed, delivery=delivery)
+        self.op_timeout = op_timeout
+        self._op_counter = 0
+        names = ["kv%d" % i for i in range(n_replicas)]
+        if protocol == "multi-paxos":
+            from ..protocols.multipaxos import MultiPaxosReplica
+            self.replicas = self.cluster.add_nodes(
+                MultiPaxosReplica, names, names,
+                state_machine_factory=KVStateMachine,
+            )
+        elif protocol == "raft":
+            from ..protocols.raft import RaftNode
+            self.replicas = self.cluster.add_nodes(
+                RaftNode, names, names, state_machine_factory=KVStateMachine
+            )
+        else:
+            from ..protocols.pbft import PbftReplica
+            f = (n_replicas - 1) // 3
+            if f < 1:
+                raise ValueError("PBFT needs at least 4 replicas")
+            self.replicas = self.cluster.add_nodes(
+                PbftReplica, names, names, f,
+                state_machine_factory=KVStateMachine,
+            )
+            self._f = f
+        self._client = self._make_client(names)
+        self.cluster.start_all()
+
+    def _make_client(self, names):
+        if self.protocol == "multi-paxos":
+            from ..protocols.multipaxos import MultiPaxosClient
+            return self.cluster.add_node(MultiPaxosClient, "kvclient", names, [])
+        if self.protocol == "raft":
+            from ..protocols.raft import RaftClient
+            return self.cluster.add_node(RaftClient, "kvclient", names, [])
+        from ..protocols.pbft import PbftClient
+        return self.cluster.add_node(PbftClient, "kvclient", names, [],
+                                     self._f)
+
+    # -- synchronous operations ------------------------------------------------
+
+    def execute(self, command):
+        """Run one command through the replication protocol and return
+        the state machine's result."""
+        client = self._client
+        done_before = len(client.results)
+        was_idle = client.done
+        queue = getattr(client, "operations", None)
+        if queue is None:
+            queue = client.commands
+        queue.append(tuple(command))
+        if was_idle:
+            client._send_next()
+        deadline = self.cluster.now + self.op_timeout
+        self.cluster.run_until(
+            lambda: len(client.results) > done_before, until=deadline
+        )
+        if len(client.results) <= done_before:
+            raise LivenessFailure(
+                "operation %r did not complete within %.0f time units"
+                % (command, self.op_timeout)
+            )
+        return client.results[-1]
+
+    def put(self, key, value):
+        """Replicated write; returns the previous value."""
+        return self.execute(("put", key, value))
+
+    def get(self, key):
+        """Linearizable read (ordered through the log like any command)."""
+        return self.execute(("get", key))
+
+    def delete(self, key):
+        return self.execute(("delete", key))
+
+    def incr(self, key, amount=1):
+        return self.execute(("incr", key, amount))
+
+    # -- fault injection ----------------------------------------------------------
+
+    def crash_leader(self):
+        """Crash the current leader/primary; returns its name (or None)."""
+        leader = self._current_leader()
+        if leader is not None:
+            leader.crash()
+            return leader.name
+        return None
+
+    def crash_replica(self, index):
+        self.replicas[index].crash()
+
+    def restart_replica(self, index):
+        self.replicas[index].restart()
+
+    def _current_leader(self):
+        for replica in self.replicas:
+            if replica.crashed:
+                continue
+            if getattr(replica, "is_leader", False):
+                return replica
+            if getattr(replica, "is_primary", False):
+                return replica
+            role = getattr(replica, "role", None)
+            if role is not None and getattr(role, "value", None) == "leader":
+                return replica
+        return None
+
+    # -- verification ---------------------------------------------------------------
+
+    def logs(self):
+        """Per-replica committed logs as (index, command) lists."""
+        out = []
+        for replica in self.replicas:
+            if hasattr(replica, "committed_log"):
+                out.append(replica.committed_log())
+            else:
+                out.append(list(replica.executed_requests))
+        return out
+
+    def check_consistency(self):
+        """True iff no two replicas conflict on any committed position and
+        equally-advanced state machines hold identical state."""
+        if not check_log_consistency(self.logs()):
+            return False
+        machines = [r.state_machine for r in self.replicas if not r.crashed]
+        return check_state_machines(machines)
+
+    def settle(self, duration=50.0):
+        """Let in-flight traffic drain (e.g. before a consistency check)."""
+        self.cluster.sim.run_for(duration)

@@ -1,0 +1,110 @@
+"""Deterministic state machines for replication.
+
+The tutorial's SMR slide: "all servers execute same commands in the same
+order; commands are deterministic".  Any object with
+``apply(command) -> result`` plugs into every protocol in this library
+via the ``state_machine_factory`` parameter.
+"""
+
+
+class KVStateMachine:
+    """A deterministic key-value store — the canonical SMR payload.
+
+    Commands are tuples:
+
+    * ``("put", key, value)`` → previous value (or None)
+    * ``("get", key)`` → current value (or None)
+    * ``("delete", key)`` → deleted value (or None)
+    * ``("incr", key, amount)`` → new numeric value (missing keys start 0)
+    * ``("cas", key, expected, value)`` → True if swapped
+
+    Anything else raises ``ValueError`` — a non-deterministic or unknown
+    command must fail loudly on every replica rather than silently
+    diverge.
+    """
+
+    def __init__(self):
+        self.data = {}
+        self.ops_applied = 0
+
+    def apply(self, command):
+        if not isinstance(command, (tuple, list)) or not command:
+            raise ValueError("malformed command: %r" % (command,))
+        op = command[0]
+        handler = getattr(self, "_op_%s" % op, None)
+        if handler is None:
+            raise ValueError("unknown operation %r" % (op,))
+        self.ops_applied += 1
+        return handler(*command[1:])
+
+    def _op_put(self, key, value):
+        previous = self.data.get(key)
+        self.data[key] = value
+        return previous
+
+    def _op_get(self, key):
+        return self.data.get(key)
+
+    def _op_delete(self, key):
+        return self.data.pop(key, None)
+
+    def _op_incr(self, key, amount=1):
+        value = self.data.get(key, 0) + amount
+        self.data[key] = value
+        return value
+
+    def _op_cas(self, key, expected, value):
+        if self.data.get(key) == expected:
+            self.data[key] = value
+            return True
+        return False
+
+    def snapshot(self):
+        """Immutable copy of the store, for divergence checks and log
+        compaction."""
+        return dict(self.data)
+
+    def restore(self, snapshot, ops_applied=0):
+        """Replace state from a snapshot (Raft InstallSnapshot path)."""
+        self.data = dict(snapshot)
+        self.ops_applied = ops_applied
+
+
+class BankStateMachine:
+    """Account ledger used by the Byzantine-bank example.
+
+    Commands: ``("open", account, balance)``, ``("transfer", src, dst,
+    amount)`` (fails on insufficient funds — deterministically),
+    ``("balance", account)``.
+    """
+
+    def __init__(self):
+        self.accounts = {}
+        self.transfers_applied = 0
+        self.transfers_rejected = 0
+
+    def apply(self, command):
+        op = command[0]
+        if op == "open":
+            _op, account, balance = command
+            if account in self.accounts:
+                return False
+            self.accounts[account] = balance
+            return True
+        if op == "transfer":
+            _op, src, dst, amount = command
+            if amount <= 0 or self.accounts.get(src, 0) < amount \
+                    or dst not in self.accounts:
+                self.transfers_rejected += 1
+                return False
+            self.accounts[src] -= amount
+            self.accounts[dst] += amount
+            self.transfers_applied += 1
+            return True
+        if op == "balance":
+            return self.accounts.get(command[1])
+        raise ValueError("unknown operation %r" % (op,))
+
+    def total_money(self):
+        """Invariant probe: transfers conserve the total."""
+        return sum(self.accounts.values())

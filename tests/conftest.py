@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import Cluster
+from repro.net import SynchronousModel, UniformDelayModel
+
+
+@pytest.fixture
+def cluster():
+    """A default cluster: seed 0, mildly jittered bounded delay."""
+    return Cluster(seed=0)
+
+
+@pytest.fixture
+def make_cluster():
+    """Factory: ``make_cluster(seed=…, delivery=…)``."""
+    def factory(seed=0, delivery=None):
+        return Cluster(seed=seed, delivery=delivery)
+    return factory
+
+
+@pytest.fixture
+def sync_cluster():
+    """Constant unit delay — for exact message-delay accounting."""
+    return Cluster(seed=0, delivery=SynchronousModel(1.0))
+
+
+@pytest.fixture
+def jittery_cluster():
+    """Wider jitter — for reordering-sensitive paths."""
+    return Cluster(seed=0, delivery=UniformDelayModel(0.5, 2.5))

@@ -1,0 +1,364 @@
+"""Tests for the blockchain substrate: blocks/PoW, the chain, mining
+network, attacks, and PoS selection."""
+
+import random
+
+import pytest
+
+from repro.blockchain import (
+    Blockchain,
+    Ledger,
+    Transaction,
+    block_reward,
+    build_block,
+    doublespend_success_probability,
+    make_coinbase,
+    make_transaction,
+    mine,
+    run_mining_network,
+    run_pos_simulation,
+    simulate_doublespend,
+    simulate_selfish_mining,
+    validate_pow,
+    verify_transaction,
+)
+from repro.core import Cluster
+from repro.crypto import HASH_SPACE, KeyRegistry
+from repro.net import UniformDelayModel
+
+EASY_TARGET = HASH_SPACE >> 10
+
+
+class TestPow:
+    def test_nonce_search_finds_solution(self):
+        block = build_block("0" * 64, [make_coinbase("m", 50.0, 1)],
+                            timestamp=1.0, target=EASY_TARGET, height=1)
+        solved = mine(block)
+        assert solved is not None
+        assert solved.header.meets_target()
+        assert validate_pow(solved)
+
+    def test_unsolved_block_fails_pow(self):
+        block = build_block("0" * 64, [make_coinbase("m", 50.0, 1)],
+                            timestamp=1.0, target=1, height=1)  # impossible
+        assert mine(block, max_attempts=100) is None
+
+    def test_harder_target_needs_more_attempts(self):
+        rng = random.Random(0)
+        attempts = {}
+        for shift, label in ((8, "easy"), (14, "hard")):
+            target = HASH_SPACE >> shift
+            total = 0
+            for i in range(5):
+                block = build_block("0" * 64,
+                                    [make_coinbase("m%d" % i, 50.0, 1)],
+                                    timestamp=rng.random(), target=target,
+                                    height=1)
+                solved = mine(block)
+                total += solved.header.nonce
+            attempts[label] = total
+        assert attempts["hard"] > attempts["easy"]
+
+    def test_tampering_breaks_hash_pointer(self):
+        chain = Blockchain(initial_target=EASY_TARGET, keys=None)
+        blk = mine(chain.next_block("m", timestamp=1.0))
+        chain.add_block(blk)
+        # A tampered copy (different timestamp) no longer matches the hash
+        # committed by any descendant.
+        tampered = build_block(blk.header.prev_hash, list(blk.transactions),
+                               timestamp=99.0, target=blk.header.target,
+                               nonce=blk.header.nonce, height=blk.height)
+        assert tampered.hash != blk.hash
+
+
+class TestTransactions:
+    def setup_method(self):
+        self.keys = KeyRegistry()
+
+    def test_signature_roundtrip(self):
+        tx = make_transaction(self.keys, "alice", "bob", 5.0, 0)
+        assert verify_transaction(self.keys, tx)
+
+    def test_tampered_amount_fails(self):
+        tx = make_transaction(self.keys, "alice", "bob", 5.0, 0)
+        fake = Transaction("alice", "bob", 500.0, 0, tx.signature)
+        assert not verify_transaction(self.keys, fake)
+
+    def test_ledger_rejects_overdraft_and_replay(self):
+        ledger = Ledger()
+        ledger.apply(make_coinbase("alice", 50.0, 0))
+        tx = Transaction("alice", "bob", 10.0, 0)
+        ledger.apply(tx)
+        assert not ledger.can_apply(tx)  # nonce replay
+        big = Transaction("alice", "bob", 1000.0, 1)
+        assert not ledger.can_apply(big)
+
+    def test_reward_halving_schedule(self):
+        assert block_reward(0, 50.0, 210_000) == 50.0
+        assert block_reward(209_999, 50.0, 210_000) == 50.0
+        assert block_reward(210_000, 50.0, 210_000) == 25.0
+        assert block_reward(420_000, 50.0, 210_000) == 12.5  # "currently"
+        assert block_reward(64 * 210_000, 50.0, 210_000) == 0.0
+
+
+class TestChain:
+    def make_chain(self, **kwargs):
+        defaults = dict(initial_target=EASY_TARGET, target_block_time=10.0,
+                        retarget_interval=8, halving_interval=16)
+        defaults.update(kwargs)
+        return Blockchain(**defaults)
+
+    def extend(self, chain, miner="m", timestamp=None, txs=()):
+        block = mine(chain.next_block(miner, list(txs),
+                                      timestamp=timestamp))
+        assert chain.add_block(block)
+        return block
+
+    def test_growth_and_supply(self):
+        chain = self.make_chain()
+        for i in range(10):
+            self.extend(chain, timestamp=float(i + 1) * 10)
+        assert chain.height == 10
+        assert chain.ledger().total_supply() == pytest.approx(50.0 * 11)
+
+    def test_halving_applied(self):
+        chain = self.make_chain()
+        for i in range(17):
+            self.extend(chain, timestamp=float(i + 1) * 10)
+        rewards = [b.transactions[0].amount for b in chain.main_chain()]
+        assert rewards[15] == 50.0 and rewards[16] == 25.0
+
+    def test_retarget_responds_to_fast_blocks(self):
+        chain = self.make_chain()
+        # Blocks found 4x too fast: at the boundary the target shrinks.
+        for i in range(9):
+            self.extend(chain, timestamp=float(i + 1) * 2.5)
+        targets = [b.header.target for b in chain.main_chain()]
+        assert targets[8] < targets[7]
+
+    def test_retarget_responds_to_slow_blocks(self):
+        chain = self.make_chain()
+        for i in range(9):
+            self.extend(chain, timestamp=float(i + 1) * 40.0)
+        targets = [b.header.target for b in chain.main_chain()]
+        assert targets[8] > targets[7]
+
+    def test_retarget_clamped_at_4x(self):
+        chain = self.make_chain()
+        for i in range(9):
+            self.extend(chain, timestamp=float(i + 1) * 1000.0)
+        targets = [b.header.target for b in chain.main_chain()]
+        assert targets[8] <= targets[7] * 4
+
+    def test_fork_resolution_by_work(self):
+        chain = self.make_chain()
+        base = self.extend(chain, timestamp=10.0)
+        # Two children of `base`: the second branch grows longer and wins.
+        fork_a = mine(build_block(base.hash,
+                                  [make_coinbase("a", 50.0, 2)],
+                                  timestamp=20.0, target=EASY_TARGET,
+                                  height=2))
+        fork_b = mine(build_block(base.hash,
+                                  [make_coinbase("b", 50.0, 2)],
+                                  timestamp=21.0, target=EASY_TARGET,
+                                  height=2))
+        chain.add_block(fork_a)
+        chain.add_block(fork_b)
+        assert chain.tip == fork_a.hash  # first seen wins at equal work
+        fork_b2 = mine(build_block(fork_b.hash,
+                                   [make_coinbase("b", 50.0, 3)],
+                                   timestamp=30.0, target=EASY_TARGET,
+                                   height=3))
+        chain.add_block(fork_b2)
+        assert chain.tip == fork_b2.hash  # longer branch overtakes
+        assert chain.reorgs >= 1
+        assert fork_a in chain.abandoned_blocks()
+
+    def test_invalid_blocks_rejected(self):
+        keys = KeyRegistry()
+        chain = self.make_chain(keys=keys)
+        # Excessive reward
+        bogus = mine(build_block(chain.tip,
+                                 [make_coinbase("greedy", 5000.0, 1)],
+                                 timestamp=1.0, target=EASY_TARGET, height=1))
+        assert not chain.add_block(bogus)
+        # Wrong height
+        bogus2 = mine(build_block(chain.tip,
+                                  [make_coinbase("m", 50.0, 7)],
+                                  timestamp=1.0, target=EASY_TARGET,
+                                  height=7))
+        assert not chain.add_block(bogus2)
+        # Unsigned transfer
+        unsigned = Transaction("satoshi", "bob", 1.0, 0)
+        bogus3 = mine(chain.next_block("m", [unsigned], timestamp=2.0))
+        assert not chain.add_block(bogus3)
+        assert chain.rejected == 3
+
+    def test_confirmations(self):
+        chain = self.make_chain()
+        first = self.extend(chain, timestamp=10.0)
+        self.extend(chain, timestamp=20.0)
+        self.extend(chain, timestamp=30.0)
+        assert chain.confirmations(first.hash) == 2
+        assert chain.confirmations(chain.tip) == 0
+
+
+class TestMiningNetwork:
+    def test_fork_rate_rises_with_fast_blocks(self, make_cluster):
+        rates = {}
+        for tbt in (5.0, 60.0):
+            cluster = make_cluster(seed=7, delivery=UniformDelayModel(0.5, 2.0))
+            result = run_mining_network(cluster, hashrates=(100.0,) * 4,
+                                        target_block_time=tbt,
+                                        duration=2500.0)
+            rates[tbt] = result.fork_stats()[2]
+        assert rates[5.0] > 3 * rates[60.0]
+
+    def test_miners_converge_on_common_prefix(self, make_cluster):
+        cluster = make_cluster(seed=8, delivery=UniformDelayModel(0.5, 2.0))
+        result = run_mining_network(cluster, hashrates=(100.0,) * 3,
+                                    target_block_time=20.0, duration=2000.0)
+        agree = result.common_prefix_height()
+        heights = [m.chain.height for m in result.miners]
+        assert agree >= min(heights) - 2  # at most the unsettled tip differs
+
+    def test_block_share_tracks_hash_share(self, make_cluster):
+        cluster = make_cluster(seed=3)
+        result = run_mining_network(
+            cluster, hashrates=(600.0, 200.0, 100.0, 100.0),
+            target_block_time=30.0, duration=9000.0,
+        )
+        counts = result.blocks_by_miner()
+        total = sum(counts.values())
+        assert abs(counts.get("m0", 0) / total - 0.6) < 0.12
+
+    def test_transactions_confirm_across_network(self, make_cluster):
+        cluster = make_cluster(seed=4)
+        keys = KeyRegistry()
+        result_holder = {}
+
+        # Run briefly, inject a transaction, keep running.
+        from repro.blockchain.miner import Miner
+        names = ["m0", "m1", "m2"]
+        params = {"initial_target": int(HASH_SPACE / (300.0 * 20.0)),
+                  "target_block_time": 20.0, "pow_check": False,
+                  "keys": keys}
+        miners = [cluster.add_node(Miner, n, names, 100.0,
+                                   chain_params=params) for n in names]
+        cluster.start_all()
+        cluster.run(until=100.0)
+        tx = make_transaction(keys, "satoshi", "alice", 10.0, 0)
+        miners[0].submit_transaction(tx)
+        cluster.run(until=1200.0)
+        balances = [m.chain.ledger().balance("alice") for m in miners]
+        assert any(b == 10.0 for b in balances)
+
+
+class TestAttacks:
+    def test_doublespend_matches_theory(self):
+        rng = random.Random(1)
+        for q in (0.1, 0.3):
+            for k in (1, 3):
+                emp = simulate_doublespend(rng, q, k, trials=4000)
+                theory = doublespend_success_probability(q, k)
+                assert abs(emp - theory) < 0.03, (q, k)
+
+    def test_majority_attacker_always_wins(self):
+        assert doublespend_success_probability(0.5, 6) == 1.0
+        assert doublespend_success_probability(0.6, 6) == 1.0
+
+    def test_more_confirmations_exponentially_safer(self):
+        probs = [doublespend_success_probability(0.25, k) for k in (1, 3, 6)]
+        assert probs[0] > probs[1] > probs[2]
+        assert probs[2] < 0.002
+
+    def test_selfish_mining_profitable_above_third(self):
+        low = simulate_selfish_mining(random.Random(2), 0.2, blocks=40000)
+        high = simulate_selfish_mining(random.Random(2), 0.4, blocks=40000)
+        assert not low.profitable
+        assert high.profitable
+
+    def test_gamma_helps_the_selfish_pool(self):
+        base = simulate_selfish_mining(random.Random(3), 0.3, gamma=0.0,
+                                       blocks=40000)
+        lucky = simulate_selfish_mining(random.Random(3), 0.3, gamma=0.9,
+                                        blocks=40000)
+        assert lucky.revenue_share > base.revenue_share
+
+
+class TestProofOfStake:
+    def test_block_share_proportional_to_stake(self):
+        result = run_pos_simulation(random.Random(3),
+                                    {"a": 60, "b": 25, "c": 15}, blocks=8000)
+        assert abs(result.share_of("a") - 0.6) < 0.05
+        assert abs(result.share_of("c") - 0.15) < 0.05
+
+    def test_coin_age_also_tracks_stake_long_run(self):
+        result = run_pos_simulation(random.Random(4),
+                                    {"a": 50, "b": 50}, blocks=8000,
+                                    selection="coin-age")
+        assert abs(result.share_of("a") - 0.5) < 0.06
+
+    def test_coin_age_gate_and_cap(self):
+        from repro.blockchain import Stakeholder
+        holder = Stakeholder("x", 100.0, stake_since_day=0.0)
+        assert holder.coin_age_weight(10.0) == 0.0       # < 30 days
+        assert holder.coin_age_weight(31.0) == 3100.0
+        assert holder.coin_age_weight(200.0) == 9000.0   # capped at 90
+
+    def test_winner_age_resets_under_coin_age(self):
+        rng = random.Random(5)
+        result = run_pos_simulation(rng, {"a": 99, "b": 1}, blocks=500,
+                                    selection="coin-age")
+        # Even the tiny holder gets turns: the whale's age keeps resetting.
+        assert result.blocks_by["b"] > 0
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError):
+            run_pos_simulation(random.Random(0), {"a": 1}, selection="wat")
+
+
+class TestPosVariants:
+    """DPoS and PoA from the consensus-variants slide."""
+
+    def test_dpos_stake_weighted_election(self):
+        from repro.blockchain import run_dpos
+        stakes = {"whale": 70, "mid": 20, "minnow": 10}
+        votes = {"whale": ["w1", "w2"], "mid": ["w3"], "minnow": ["w3"]}
+        result = run_dpos(stakes, votes, k=2, blocks=100)
+        # The whale's approvals dominate the election.
+        assert set(result.witnesses) == {"w1", "w2"}
+        assert result.votes_by_candidate["w1"] == 70
+        assert result.votes_by_candidate["w3"] == 30
+
+    def test_dpos_round_robin_production(self):
+        from repro.blockchain import run_dpos
+        result = run_dpos({"a": 1}, {"a": ["w1", "w2"]}, k=2, blocks=100)
+        assert result.blocks_by == {"w1": 50, "w2": 50}
+
+    def test_dpos_validation(self):
+        from repro.blockchain import run_dpos
+        import pytest
+        with pytest.raises(ValueError):
+            run_dpos({"a": 1}, {}, k=1)
+        with pytest.raises(ValueError):
+            run_dpos({"a": 1}, {"a": ["w"]}, k=0)
+
+    def test_poa_round_robin(self):
+        from repro.blockchain import run_poa
+        result = run_poa(["a1", "a2", "a3"], blocks=90)
+        assert all(count == 30 for count in result.blocks_by.values())
+        assert result.skipped == 0
+
+    def test_poa_skips_offline_authority(self):
+        from repro.blockchain import run_poa
+        result = run_poa(["a1", "a2", "a3"], blocks=90, offline=("a2",))
+        assert "a2" not in result.blocks_by
+        assert sum(result.blocks_by.values()) == 90
+        assert result.skipped == 30  # a2's slots taken by the successor
+
+    def test_poa_all_offline_rejected(self):
+        from repro.blockchain import run_poa
+        import pytest
+        with pytest.raises(ValueError):
+            run_poa(["a1"], blocks=1, offline=("a1",))

@@ -1,0 +1,122 @@
+"""Tests for the generic Byzantine network behaviours, including their
+effect on live protocols (idempotency under duplication, liveness under
+selective silence within the fault budget)."""
+
+from repro.core import Cluster
+from repro.faults import Delayer, Duplicator, SelectiveSilence, Silence
+from repro.protocols.minbft import run_minbft
+from repro.protocols.pbft import run_pbft
+
+
+class TestBehaviorMechanics:
+    def test_silence_drops_everything(self, cluster):
+        from dataclasses import dataclass
+        from repro.core import Node
+        from repro.net import Message
+
+        @dataclass(frozen=True)
+        class Ping(Message):
+            k: int
+
+        class Sink(Node):
+            def __init__(self, sim, network, name):
+                super().__init__(sim, network, name)
+                self.got = []
+
+            def handle_ping(self, msg, src):
+                self.got.append(msg.k)
+
+        a = cluster.add_node(Sink, "a")
+        b = cluster.add_node(Sink, "b")
+        behavior = Silence(cluster, "a").install()
+        cluster.sim.call_soon(lambda: a.send("b", Ping(1)))
+        cluster.run()
+        assert not b.got and behavior.messages_affected == 1
+        behavior.uninstall()
+        cluster.sim.call_soon(lambda: a.send("b", Ping(2)))
+        cluster.run()
+        assert b.got == [2]
+
+    def test_duplicator_replays(self, cluster):
+        from dataclasses import dataclass
+        from repro.core import Node
+        from repro.net import Message
+
+        @dataclass(frozen=True)
+        class Ping(Message):
+            k: int
+
+        class Sink(Node):
+            def __init__(self, sim, network, name):
+                super().__init__(sim, network, name)
+                self.got = []
+
+            def handle_ping(self, msg, src):
+                self.got.append(msg.k)
+
+        a = cluster.add_node(Sink, "a")
+        b = cluster.add_node(Sink, "b")
+        Duplicator(cluster, "a", copies=2).install()
+        cluster.sim.call_soon(lambda: a.send("b", Ping(7)))
+        cluster.run()
+        assert b.got == [7, 7, 7]
+
+    def test_delayer_defers_delivery(self, make_cluster):
+        from dataclasses import dataclass
+        from repro.core import Node
+        from repro.net import Message, SynchronousModel
+
+        @dataclass(frozen=True)
+        class Ping(Message):
+            k: int
+
+        class Sink(Node):
+            def __init__(self, sim, network, name):
+                super().__init__(sim, network, name)
+                self.at = None
+
+            def handle_ping(self, msg, src):
+                self.at = self.sim.now
+
+        cluster = make_cluster(seed=0, delivery=SynchronousModel(1.0))
+        a = cluster.add_node(Sink, "a")
+        b = cluster.add_node(Sink, "b")
+        Delayer(cluster, "a", delay=10.0).install()
+        cluster.sim.call_soon(lambda: a.send("b", Ping(1)))
+        cluster.run()
+        assert b.at == 11.0  # 10 held + 1 transit
+
+
+class TestProtocolsUnderBehaviors:
+    def test_pbft_survives_duplicating_replica(self, make_cluster):
+        cluster = make_cluster(seed=3)
+        Duplicator(cluster, "r2", copies=2).install()
+        result = run_pbft(cluster, f=1, n_clients=1, operations_per_client=3)
+        assert all(c.done for c in result.clients)
+        assert result.logs_consistent()
+
+    def test_pbft_survives_selectively_silent_backup(self, make_cluster):
+        cluster = make_cluster(seed=4)
+        # r3 starves half the cluster — within the f=1 budget.
+        SelectiveSilence(cluster, "r3", starved=("r1", "r2")).install()
+        result = run_pbft(cluster, f=1, n_clients=1, operations_per_client=3)
+        assert all(c.done for c in result.clients)
+        assert result.logs_consistent()
+
+    def test_minbft_survives_delaying_replica(self, make_cluster):
+        cluster = make_cluster(seed=5)
+        Delayer(cluster, "r2", delay=8.0).install()
+        result = run_minbft(cluster, f=1, operations=3)
+        assert result.clients[0].done
+        assert result.logs_consistent()
+
+    def test_pbft_fails_liveness_beyond_budget_but_stays_safe(self,
+                                                              make_cluster):
+        cluster = make_cluster(seed=6)
+        # Two silent replicas exceed f=1: liveness gone, safety intact.
+        Silence(cluster, "r2").install()
+        Silence(cluster, "r3").install()
+        result = run_pbft(cluster, f=1, n_clients=1,
+                          operations_per_client=2, horizon=400.0)
+        assert not all(c.done for c in result.clients)
+        assert result.logs_consistent()

@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "paxos" in out and "tendermint" in out
+
+    @pytest.mark.parametrize("protocol", ["paxos", "raft", "pbft",
+                                          "tendermint", "ben-or",
+                                          "chandra-toueg", "hotstuff"])
+    def test_run_each_protocol(self, protocol, capsys):
+        assert main(["run", protocol, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert protocol in out
+        assert "measured messages" in out
+
+    def test_run_unknown_protocol(self, capsys):
+        assert main(["run", "carrier-pigeon"]) == 1
+        assert "unknown" in capsys.readouterr().out
+
+    def test_kv(self, capsys):
+        assert main(["kv", "--protocol", "multi-paxos"]) == 0
+        out = capsys.readouterr().out
+        assert "consistent: True" in out
+        assert "greeting='hello'" in out
+
+    def test_mine(self, capsys):
+        assert main(["mine", "--duration", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "fork-rate" in out and "m0" in out
+
+    def test_deterministic_across_invocations(self, capsys):
+        main(["run", "paxos", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["run", "paxos", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second

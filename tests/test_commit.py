@@ -1,0 +1,108 @@
+"""Tests for 2PC and 3PC: atomicity, vetoes, the blocking window, and
+the termination protocol."""
+
+from repro.core import CCPhase, Cluster
+from repro.protocols.commit import TxState, run_commit
+
+
+class TestHappyPaths:
+    def test_2pc_all_yes_commits(self, cluster):
+        result = run_commit(cluster, protocol="2pc")
+        assert all(s is TxState.COMMITTED for s in result.outcomes())
+        assert result.atomic()
+
+    def test_3pc_all_yes_commits(self, cluster):
+        result = run_commit(cluster, protocol="3pc")
+        assert all(s is TxState.COMMITTED for s in result.outcomes())
+
+    def test_message_counts_2pc_vs_3pc(self, make_cluster):
+        costs = {}
+        for protocol in ("2pc", "3pc"):
+            cluster = make_cluster(seed=1)
+            run_commit(cluster, protocol=protocol, n_cohorts=4)
+            costs[protocol] = cluster.metrics.messages_total
+        # 3PC pays an extra phase: pre-commit + acks = 2n more messages.
+        assert costs["3pc"] == costs["2pc"] + 8
+
+    def test_many_cohorts(self, make_cluster):
+        result = run_commit(make_cluster(seed=2), protocol="3pc", n_cohorts=8)
+        assert all(s is TxState.COMMITTED for s in result.outcomes())
+
+
+class TestVeto:
+    def test_single_no_vote_aborts_everyone(self, make_cluster):
+        for protocol in ("2pc", "3pc"):
+            result = run_commit(make_cluster(seed=1), protocol=protocol,
+                                votes=[True, False, True])
+            assert all(s is TxState.ABORTED for s in result.outcomes())
+            assert result.atomic()
+
+    def test_all_no_aborts(self, cluster):
+        result = run_commit(cluster, protocol="2pc", votes=[False] * 3)
+        assert all(s is TxState.ABORTED for s in result.outcomes())
+
+
+class TestBlocking:
+    """2PC's fundamental flaw: the uncertainty window blocks."""
+
+    def test_2pc_blocks_when_coordinator_dies_after_votes(self, cluster):
+        result = run_commit(cluster, protocol="2pc", crash_after="votes")
+        assert len(result.blocked_cohorts()) == 3
+        assert all(s is TxState.READY for s in result.outcomes())
+
+    def test_cooperative_termination_cannot_help_when_nobody_knows(self, cluster):
+        # All cohorts are uncertain: querying peers yields nothing.
+        result = run_commit(cluster, protocol="2pc", crash_after="votes",
+                            cooperative=True)
+        assert result.blocked_cohorts()
+
+    def test_cooperative_termination_spreads_partial_decision(self, cluster):
+        # One cohort learned COMMIT before the crash: peers adopt it.
+        result = run_commit(cluster, protocol="2pc",
+                            crash_after="partial_decision", partial_count=1)
+        assert all(s is TxState.COMMITTED for s in result.outcomes())
+        assert not result.blocked_cohorts()
+        assert result.atomic()
+
+
+class TestThreePCTermination:
+    """3PC replicates the decision (C&C FT-agreement) before deciding."""
+
+    def test_crash_after_votes_terminates_with_abort(self, cluster):
+        result = run_commit(cluster, protocol="3pc", crash_after="votes")
+        assert not result.blocked_cohorts()
+        # Nobody pre-committed → nobody could have committed → abort safe.
+        assert all(s is TxState.ABORTED for s in result.outcomes())
+
+    def test_crash_after_precommits_terminates_with_commit(self, cluster):
+        result = run_commit(cluster, protocol="3pc", crash_after="precommits")
+        assert not result.blocked_cohorts()
+        assert all(s is TxState.COMMITTED for s in result.outcomes())
+
+    def test_termination_is_atomic(self, make_cluster):
+        for seed in range(4):
+            for crash in ("votes", "precommits"):
+                result = run_commit(make_cluster(seed=seed), protocol="3pc",
+                                    crash_after=crash)
+                assert result.atomic(), (seed, crash)
+                assert not result.blocked_cohorts(), (seed, crash)
+
+
+class TestCCDecomposition:
+    def test_2pc_trace_skips_ft_agreement(self, cluster):
+        result = run_commit(cluster, protocol="2pc")
+        phases = result.coordinator.trace.phases_seen()
+        assert CCPhase.VALUE_DISCOVERY in phases
+        assert CCPhase.DECISION in phases
+        assert CCPhase.FT_AGREEMENT not in phases
+
+    def test_3pc_trace_includes_ft_agreement(self, cluster):
+        result = run_commit(cluster, protocol="3pc")
+        phases = result.coordinator.trace.phases_seen()
+        assert CCPhase.FT_AGREEMENT in phases
+
+    def test_3pc_termination_trace_has_leader_election(self, cluster):
+        result = run_commit(cluster, protocol="3pc", crash_after="votes")
+        recovery = [c for c in result.cohorts if c.is_recovery_coordinator]
+        assert len(recovery) == 1
+        assert CCPhase.LEADER_ELECTION in recovery[0].trace.phases_seen()

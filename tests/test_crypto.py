@@ -1,0 +1,198 @@
+"""Unit tests for the simulated crypto substrate."""
+
+import pytest
+
+from repro.crypto import (
+    HASH_SPACE,
+    KeyRegistry,
+    MerkleTree,
+    ThresholdScheme,
+    UsigAuthority,
+    UsigLogChecker,
+    canonical_bytes,
+    sha256_hex,
+    sha256_int,
+)
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert sha256_hex("a", 1, [2, 3]) == sha256_hex("a", 1, [2, 3])
+
+    def test_type_tags_distinguish(self):
+        assert sha256_hex("12") != sha256_hex(12)
+        assert sha256_hex([1, 2]) != sha256_hex((1, "2"))
+        assert sha256_hex(True) != sha256_hex(1)
+        assert sha256_hex(None) != sha256_hex("")
+
+    def test_dict_order_independent(self):
+        assert canonical_bytes({"a": 1, "b": 2}) == canonical_bytes({"b": 2, "a": 1})
+
+    def test_nested_containers(self):
+        value = {"k": [1, (2, 3)], "s": "x"}
+        assert sha256_hex(value) == sha256_hex({"s": "x", "k": [1, (2, 3)]})
+
+    def test_sha256_int_in_range(self):
+        value = sha256_int("block")
+        assert 0 <= value < HASH_SPACE
+
+    def test_uncanonicalisable_raises(self):
+        with pytest.raises(TypeError):
+            canonical_bytes(object())
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        keys = KeyRegistry()
+        sig = keys.signer("alice").sign("msg", 42)
+        assert keys.verify(sig, "msg", 42)
+
+    def test_wrong_content_fails(self):
+        keys = KeyRegistry()
+        sig = keys.signer("alice").sign("msg", 42)
+        assert not keys.verify(sig, "msg", 43)
+
+    def test_forgery_fails(self):
+        keys = KeyRegistry()
+        forged = keys.forge("alice", "msg")
+        assert not keys.verify(forged, "msg")
+
+    def test_cross_signer_fails(self):
+        keys = KeyRegistry()
+        sig = keys.signer("alice").sign("msg")
+        bob_claim = type(sig)("bob", sig.tag)
+        assert not keys.verify(bob_claim, "msg")
+
+    def test_different_registries_incompatible(self):
+        sig = KeyRegistry(seed=b"one").signer("alice").sign("msg")
+        assert not KeyRegistry(seed=b"two").verify(sig, "msg")
+
+    def test_non_signature_rejected(self):
+        assert not KeyRegistry().verify("not-a-signature", "msg")
+
+
+class TestThreshold:
+    def setup_method(self):
+        self.members = ["r0", "r1", "r2", "r3"]
+        self.scheme = ThresholdScheme(3, self.members)
+
+    def test_combine_and_verify(self):
+        shares = [self.scheme.sign_share(m, "v") for m in self.members[:3]]
+        qc = self.scheme.combine(shares, "v")
+        assert self.scheme.verify(qc, "v")
+        assert not self.scheme.verify(qc, "w")
+
+    def test_too_few_shares_rejected(self):
+        shares = [self.scheme.sign_share(m, "v") for m in self.members[:2]]
+        with pytest.raises(ValueError):
+            self.scheme.combine(shares, "v")
+
+    def test_duplicate_signers_do_not_count_twice(self):
+        share = self.scheme.sign_share("r0", "v")
+        with pytest.raises(ValueError):
+            self.scheme.combine([share, share, share], "v")
+
+    def test_invalid_shares_filtered(self):
+        good = [self.scheme.sign_share(m, "v") for m in self.members[:2]]
+        bad = self.scheme.sign_share("r3", "DIFFERENT")
+        with pytest.raises(ValueError):
+            self.scheme.combine(good + [bad], "v")
+
+    def test_non_member_cannot_sign(self):
+        with pytest.raises(KeyError):
+            self.scheme.sign_share("intruder", "v")
+
+    def test_combined_is_constant_size(self):
+        shares = [self.scheme.sign_share(m, "v") for m in self.members]
+        qc = self.scheme.combine(shares, "v")
+        assert qc.size_estimate() == 32
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ThresholdScheme(5, ["a", "b"])
+
+    def test_share_verification(self):
+        share = self.scheme.sign_share("r0", "v")
+        assert self.scheme.verify_share(share, "v")
+        assert not self.scheme.verify_share(share, "w")
+
+
+class TestUsig:
+    def test_counters_increment(self):
+        authority = UsigAuthority()
+        usig = authority.provision("r0")
+        ui1 = usig.create_ui("a")
+        ui2 = usig.create_ui("b")
+        assert (ui1.counter, ui2.counter) == (1, 2)
+
+    def test_cross_replica_verification(self):
+        authority = UsigAuthority()
+        ui = authority.provision("r0").create_ui("msg")
+        assert authority.provision("r1").verify_ui(ui, "msg")
+        assert not authority.provision("r1").verify_ui(ui, "other")
+
+    def test_reprovision_keeps_counter(self):
+        authority = UsigAuthority()
+        usig = authority.provision("r0")
+        usig.create_ui("x")
+        again = authority.provision("r0")
+        assert again is usig and again.counter == 1
+
+    def test_equivocation_impossible_by_construction(self):
+        # Two UIs from one USIG always carry distinct counters — the
+        # property MinBFT's 2f+1 bound rests on.
+        usig = UsigAuthority().provision("r0")
+        uis = [usig.create_ui("same-message") for _ in range(10)]
+        counters = [ui.counter for ui in uis]
+        assert counters == sorted(set(counters))
+
+    def test_log_checker_enforces_order(self):
+        authority = UsigAuthority()
+        sender = authority.provision("r0")
+        receiver = authority.provision("r1")
+        checker = UsigLogChecker(receiver, "r0")
+        ui1 = sender.create_ui("a")
+        ui2 = sender.create_ui("b")
+        assert not checker.accept(ui2, "b")  # gap
+        assert checker.accept(ui1, "a")
+        assert checker.accept(ui2, "b")
+        assert not checker.accept(ui2, "b")  # replay
+
+    def test_log_checker_rejects_wrong_issuer(self):
+        authority = UsigAuthority()
+        other = authority.provision("r2").create_ui("x")
+        checker = UsigLogChecker(authority.provision("r1"), "r0")
+        assert not checker.accept(other, "x")
+
+
+class TestMerkle:
+    def test_proofs_verify(self):
+        leaves = ["tx%d" % i for i in range(7)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert MerkleTree.verify(leaf, tree.proof(index), tree.root)
+
+    def test_wrong_leaf_fails(self):
+        tree = MerkleTree(["a", "b", "c", "d"])
+        assert not MerkleTree.verify("z", tree.proof(1), tree.root)
+
+    def test_root_changes_with_any_leaf(self):
+        base = MerkleTree(["a", "b", "c"]).root
+        assert MerkleTree(["a", "b", "x"]).root != base
+        assert MerkleTree(["a", "b"]).root != base
+
+    def test_single_leaf(self):
+        tree = MerkleTree(["only"])
+        assert MerkleTree.verify("only", tree.proof(0), tree.root)
+        assert tree.proof(0) == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_out_of_range_proof(self):
+        with pytest.raises(IndexError):
+            MerkleTree(["a"]).proof(5)
+
+    def test_order_matters(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["b", "a"]).root

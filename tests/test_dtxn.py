@@ -1,0 +1,156 @@
+"""Tests for distributed transactions: 2PL + 2PC over Paxos groups."""
+
+import pytest
+
+from repro.dtxn import DistributedKV, Transaction, TxnKVStateMachine
+
+
+class TestTxnStateMachine:
+    def setup_method(self):
+        self.sm = TxnKVStateMachine()
+
+    def test_lock_read_prepare_commit_cycle(self):
+        self.sm.apply(("put", "a", 10))
+        status, reads = self.sm.apply(("txn_lock", "t1", ("a",)))
+        assert status == "ok" and reads == {"a": 10}
+        assert self.sm.apply(("txn_prepare", "t1", (("a", 99),))) == "prepared"
+        assert self.sm.apply(("txn_commit", "t1")) == "committed"
+        assert self.sm.apply(("get", "a")) == 99
+        assert self.sm.locks == {}
+
+    def test_conflicting_lock_denied_atomically(self):
+        self.sm.apply(("txn_lock", "t1", ("a",)))
+        status, holder = self.sm.apply(("txn_lock", "t2", ("a", "b")))
+        assert status == "conflict" and holder == "t1"
+        # No partial locks: b must not be held by t2.
+        assert "b" not in self.sm.locks
+
+    def test_abort_releases_and_discards(self):
+        self.sm.apply(("put", "a", 1))
+        self.sm.apply(("txn_lock", "t1", ("a",)))
+        self.sm.apply(("txn_prepare", "t1", (("a", 2),)))
+        assert self.sm.apply(("txn_abort", "t1")) == "aborted"
+        assert self.sm.apply(("get", "a")) == 1
+        assert self.sm.locks == {}
+
+    def test_prepare_without_locks_refused(self):
+        assert self.sm.apply(("txn_prepare", "t1", (("a", 2),))) == "no-locks"
+
+    def test_plain_put_refused_on_locked_key(self):
+        self.sm.apply(("txn_lock", "t1", ("a",)))
+        assert self.sm.apply(("put", "a", 5)) == "locked"
+
+    def test_relock_by_same_txn_is_fine(self):
+        self.sm.apply(("txn_lock", "t1", ("a",)))
+        status, _reads = self.sm.apply(("txn_lock", "t1", ("a", "b")))
+        assert status == "ok"
+
+
+class TestDistributedKV:
+    def test_single_key_roundtrip(self):
+        db = DistributedKV(n_partitions=2, seed=1)
+        assert db.put("x", 42) == "committed"
+        assert db.get("x") == 42
+
+    def test_cross_partition_transfer(self):
+        db = DistributedKV(n_partitions=3, seed=2)
+        a, b = _two_keys_in_distinct_groups(db)
+        db.put(a, 100)
+        db.put(b, 10)
+        assert db.transfer(a, b, 40) == "committed"
+        assert db.get(a) == 60 and db.get(b) == 50
+        assert db.total_of([a, b]) == 110
+
+    def test_overdraft_aborts_cleanly(self):
+        db = DistributedKV(n_partitions=2, seed=3)
+        db.put("poor", 5)
+        db.put("rich", 100)
+        assert db.transfer("poor", "rich", 50) == "aborted"
+        assert db.get("poor") == 5 and db.get("rich") == 100
+        # Locks were released: further work proceeds.
+        assert db.transfer("rich", "poor", 50) == "committed"
+
+    def test_concurrent_conflicting_transactions_serialize(self):
+        db = DistributedKV(n_partitions=3, seed=2)
+        a, b, c = _three_keys_in_distinct_groups(db)
+        for key in (a, b, c):
+            db.put(key, 100)
+
+        def mk(src, dst, amount, txid):
+            def update(reads):
+                return {src: reads[src] - amount, dst: reads[dst] + amount}
+            return Transaction(txid, (src, dst), update)
+
+        t1, t2 = mk(a, b, 20, "txA"), mk(b, c, 30, "txB")
+        db.coordinator.submit(t1)
+        db.coordinator.submit(t2)
+        db.cluster.run_until(lambda: t1.outcome and t2.outcome, until=4000.0)
+        assert t1.outcome == "committed" and t2.outcome == "committed"
+        # Serializable result: both effects applied exactly once.
+        assert db.get(a) == 80 and db.get(b) == 90 and db.get(c) == 130
+        assert db.total_of([a, b, c]) == 300
+
+    def test_no_wait_records_conflicts(self):
+        db = DistributedKV(n_partitions=1, seed=5)
+        db.put("k", 1)
+
+        t1 = Transaction("t1", ("k",), lambda r: {"k": r["k"] + 1})
+        t2 = Transaction("t2", ("k",), lambda r: {"k": r["k"] + 10})
+        db.coordinator.submit(t1)
+        db.coordinator.submit(t2)
+        db.cluster.run_until(lambda: t1.outcome and t2.outcome, until=4000.0)
+        assert t1.outcome == "committed" and t2.outcome == "committed"
+        assert db.get("k") == 12  # both increments, serialized
+
+    def test_survives_minority_replica_crashes(self):
+        db = DistributedKV(n_partitions=2, replicas_per_partition=3, seed=7)
+        a, b = _two_keys_in_distinct_groups(db)
+        db.put(a, 50)
+        db.put(b, 50)
+        db.crash_one_replica_per_partition()
+        assert db.transfer(a, b, 25) == "committed"
+        assert db.total_of([a, b]) == 100
+        db.settle()
+        assert db.check_consistency()
+
+    def test_survives_group_leader_crash(self):
+        db = DistributedKV(n_partitions=2, replicas_per_partition=3, seed=8)
+        a, b = _two_keys_in_distinct_groups(db)
+        db.put(a, 30)
+        db.put(b, 30)
+        db.crash_group_leader(db.group_of(a))
+        assert db.transfer(a, b, 10) == "committed"
+        assert db.get(a) == 20 and db.get(b) == 40
+
+    def test_prepared_writes_survive_in_group_log(self):
+        # The point of 2PC-over-Paxos: a prepare is a *replicated* log
+        # entry, visible in every group replica's committed log.
+        db = DistributedKV(n_partitions=1, replicas_per_partition=3, seed=9)
+        db.put("k", 1)
+        db.settle()
+        logs = [replica.committed_log()
+                for replica in db.replicas[0] if not replica.crashed]
+        ops = {value.command[0] for log in logs for _idx, value in log}
+        assert {"txn_lock", "txn_prepare", "txn_commit"} <= ops
+
+
+def _two_keys_in_distinct_groups(db):
+    seen = {}
+    for i in range(100):
+        key = "acct%d" % i
+        seen.setdefault(db.group_of(key), key)
+        if len(seen) >= 2:
+            break
+    groups = sorted(seen)
+    return seen[groups[0]], seen[groups[1]]
+
+
+def _three_keys_in_distinct_groups(db):
+    seen = {}
+    for i in range(200):
+        key = "acct%d" % i
+        seen.setdefault(db.group_of(key), key)
+        if len(seen) >= 3:
+            break
+    groups = sorted(seen)
+    return seen[groups[0]], seen[groups[1]], seen[groups[2]]

@@ -1,0 +1,176 @@
+"""Tests for the Dynamo-style eventually consistent store."""
+
+import pytest
+
+from repro.dynamo import (
+    EventualKV,
+    VectorClock,
+    Versioned,
+    last_writer_wins,
+    reconcile,
+)
+
+
+class TestVectorClocks:
+    def test_increment_and_descent(self):
+        a = VectorClock().increment("n1")
+        b = a.increment("n1")
+        assert b.descends_from(a)
+        assert not a.descends_from(b)
+
+    def test_concurrency(self):
+        a = VectorClock().increment("n1")
+        b = VectorClock().increment("n2")
+        assert a.concurrent_with(b)
+        merged = a.merge(b)
+        assert merged.descends_from(a) and merged.descends_from(b)
+
+    def test_self_descent(self):
+        a = VectorClock().increment("n1")
+        assert a.descends_from(a)
+        assert not a.concurrent_with(a)
+
+    def test_reconcile_drops_dominated(self):
+        old = Versioned("old", VectorClock.of({"n1": 1}), (1.0, "n1"))
+        new = Versioned("new", VectorClock.of({"n1": 2}), (2.0, "n1"))
+        assert reconcile([old, new]) == [new]
+
+    def test_reconcile_keeps_concurrent_siblings(self):
+        a = Versioned("a", VectorClock.of({"n1": 1}), (1.0, "n1"))
+        b = Versioned("b", VectorClock.of({"n2": 1}), (2.0, "n2"))
+        frontier = reconcile([a, b])
+        assert len(frontier) == 2
+
+    def test_lww_picks_newest_stamp(self):
+        a = Versioned("a", VectorClock.of({"n1": 1}), (1.0, "n1"))
+        b = Versioned("b", VectorClock.of({"n2": 1}), (2.0, "n2"))
+        assert last_writer_wins([a, b]).value == "b"
+
+
+class TestEventualKV:
+    def test_basic_put_get(self):
+        store = EventualKV(seed=1)
+        store.put("k", 42)
+        value, _ctx = store.get("k")
+        assert value == 42
+
+    def test_causal_chain_reads_own_writes(self):
+        # R + W > N (2 + 2 > 3): quorum intersection, no staleness.
+        store = EventualKV(n=3, r=2, w=2, seed=2)
+        ctx = store.put("list", ["a"])
+        value, ctx = store.get("list")
+        store.put("list", value + ["b"], context=ctx)
+        value, _ = store.get("list")
+        assert value == ["a", "b"]
+
+    def test_blind_concurrent_writes_create_siblings(self):
+        store = EventualKV(seed=3, n_coordinators=2)
+        store.put("k", "A", via=0)
+        store.put("k", "B", via=1)
+        siblings = store.get_siblings("k")
+        assert sorted(str(s.value) for s in siblings) == ["A", "B"]
+
+    def test_contextual_write_resolves_siblings(self):
+        store = EventualKV(seed=3, n_coordinators=2)
+        store.put("k", "A", via=0)
+        store.put("k", "B", via=1)
+        _value, ctx = store.get("k")
+        store.put("k", "merged", context=ctx)
+        assert [s.value for s in store.get_siblings("k")] == ["merged"]
+
+    def test_same_writer_blind_writes_stay_ordered(self):
+        store = EventualKV(seed=4)
+        store.put("j", 1)
+        store.put("j", 2)
+        assert [s.value for s in store.get_siblings("j")] == [2]
+
+    def test_rw_quorum_intersection_reads_latest(self):
+        # With R + W > N every read overlaps the last write quorum.
+        store = EventualKV(n=3, r=2, w=2, seed=5, gossip_interval=0)
+        for i in range(5):
+            store.put("x", i)
+            value, _ = store.get("x")
+            assert value == i
+
+    def test_weak_quorums_can_be_stale_then_converge(self):
+        # R = W = 1 with N = 3, and one preferred replica losing writes
+        # (a flaky link): R=1 reads that land on it return stale data —
+        # the window R + W <= N opens.  Anti-entropy then converges it.
+        store = EventualKV(n=3, r=1, w=1, seed=11, gossip_interval=5.0)
+        laggard = store.coordinator.preference_list("y")[0]
+
+        def drop_puts_to_laggard(src, dst, message):
+            if dst == laggard and message.mtype == "dynput":
+                return False
+            return None
+
+        store.cluster.network.add_interceptor(drop_puts_to_laggard)
+        stale_seen = False
+        for i in range(15):
+            store.put("y", i)
+            value, _ = store.get("y")
+            if value != i:
+                stale_seen = True
+        assert stale_seen  # the weak setting really is weaker
+        store.cluster.network.remove_interceptor(drop_puts_to_laggard)
+        store.settle(200.0)
+        value, _ = store.get("y")
+        assert value == 14  # anti-entropy converged on the last write
+        assert store.converged("y")
+
+    def test_anti_entropy_converges_full_preference_list(self):
+        store = EventualKV(n=3, r=1, w=1, seed=6, gossip_interval=5.0)
+        store.put("k", "v")
+        store.settle(200.0)
+        assert store.converged("k")
+
+    def test_survives_replica_crash_with_slack(self):
+        # W = 2 of N = 3: one crashed replica in the preference list is
+        # tolerable.
+        store = EventualKV(n=3, r=2, w=2, seed=7)
+        pref = store.coordinator.preference_list("k")
+        index = [r.name for r in store.replicas].index(pref[0])
+        store.crash_replica(index)
+        store.put("k", "still-works")
+        value, _ = store.get("k")
+        assert value == "still-works"
+
+    def test_read_repair_heals_stale_replica(self):
+        store = EventualKV(n=3, r=3, w=1, seed=8, gossip_interval=0)
+        store.put("k", "v1")
+        # R = N forces reading every replica; repairs flow to laggards.
+        store.get("k")
+        store.cluster.sim.run_for(20.0)
+        repairs = sum(r.read_repairs for r in store.replicas)
+        assert repairs >= 0  # repairs occur when laggards existed
+        assert store.converged("k")
+
+    def test_invalid_quorum_configs_rejected(self):
+        with pytest.raises(ValueError):
+            EventualKV(n=3, r=4, w=1)
+        with pytest.raises(ValueError):
+            EventualKV(n_replicas=3, n=5)
+
+
+class TestPartitionBehaviour:
+    def test_diverge_under_partition_converge_after_heal(self):
+        store = EventualKV(n_replicas=4, n=3, r=1, w=1, seed=9,
+                           gossip_interval=5.0)
+        store.put("k", "before")
+        store.settle(100.0)
+        pref = store.coordinator.preference_list("k")
+        # Cut the last preferred replica off with the spares.
+        isolated = pref[-1]
+        rest = [r.name for r in store.replicas if r.name != isolated]
+        store.partition(rest, [isolated])
+        store.put("k", "during")
+        store.settle(60.0)
+        isolated_replica = next(r for r in store.replicas
+                                if r.name == isolated)
+        local = [v.value for v in isolated_replica.store.get("k", ())]
+        assert "during" not in local  # diverged
+        store.heal()
+        store.settle(200.0)
+        assert store.converged("k")
+        value, _ = store.get("k")
+        assert value == "during"

@@ -1,0 +1,147 @@
+"""Cross-module integration scenarios: realistic end-to-end runs that
+exercise multiple subsystems together."""
+
+import pytest
+
+from repro.core import Cluster
+from repro.faults import FaultPlan
+from repro.net import PartialSynchronyModel, UniformDelayModel
+from repro.smr import BankStateMachine, ReplicatedKV
+
+
+class TestKVUnderChaos:
+    def test_multipaxos_kv_with_crash_restart_cycle(self):
+        kv = ReplicatedKV(n_replicas=5, protocol="multi-paxos", seed=21)
+        for i in range(5):
+            kv.put("k%d" % i, i)
+        kv.crash_replica(1)
+        kv.crash_leader()
+        for i in range(5, 8):
+            kv.put("k%d" % i, i)
+        kv.restart_replica(1)
+        kv.settle(100.0)
+        assert kv.get("k0") == 0 and kv.get("k7") == 7
+        assert kv.check_consistency()
+
+    def test_raft_kv_under_partial_synchrony(self):
+        kv = ReplicatedKV(
+            n_replicas=3, protocol="raft", seed=5,
+            delivery=PartialSynchronyModel(gst=0.0, post_low=0.5,
+                                           post_high=1.5),
+        )
+        for i in range(4):
+            kv.incr("total", i + 1)
+        assert kv.get("total") == 10
+        kv.settle()
+        assert kv.check_consistency()
+
+    def test_pbft_kv_sequential_semantics(self):
+        kv = ReplicatedKV(n_replicas=4, protocol="pbft", seed=2)
+        kv.put("x", 1)
+        assert kv.execute(("cas", "x", 1, 2)) is True
+        assert kv.execute(("cas", "x", 1, 3)) is False
+        assert kv.get("x") == 2
+
+
+class TestBankOnBft:
+    def test_byzantine_resilient_bank_conserves_money(self, make_cluster):
+        from repro.protocols.pbft import PbftClient, PbftReplica
+        cluster = make_cluster(seed=3)
+        names = ["b%d" % i for i in range(4)]
+        replicas = cluster.add_nodes(
+            PbftReplica, names, names, 1,
+            state_machine_factory=BankStateMachine,
+        )
+        operations = [
+            ("open", "alice", 100), ("open", "bob", 50),
+            ("transfer", "alice", "bob", 30),
+            ("transfer", "bob", "alice", 200),  # rejected: overdraft
+            ("transfer", "bob", "alice", 80),
+        ]
+        client = cluster.add_node(PbftClient, "c0", names, operations, 1)
+        cluster.start_all()
+        cluster.run_until(lambda: client.done, until=2000.0)
+        assert client.done
+        cluster.sim.run_for(50.0)
+        totals = {r.state_machine.total_money() for r in replicas}
+        assert totals == {150}
+        balances = {tuple(sorted(r.state_machine.accounts.items()))
+                    for r in replicas}
+        assert len(balances) == 1  # identical state everywhere
+
+
+class TestPartitionScenarios:
+    def test_multipaxos_minority_partition_stalls_then_recovers(self):
+        kv = ReplicatedKV(n_replicas=3, protocol="multi-paxos", seed=8)
+        kv.put("a", 1)
+        plan = FaultPlan(kv.cluster)
+        names = [r.name for r in kv.replicas]
+        # Isolate the leader with no quorum; heal later.
+        leader = kv._current_leader()
+        others = [n for n in names if n != leader.name]
+        kv.cluster.network.partitions.split([leader.name], others + ["kvclient"])
+        plan.heal_at(kv.cluster.now + 60.0)
+        kv.put("b", 2)  # must still complete via the majority side
+        kv.settle(120.0)
+        assert kv.get("a") == 1 and kv.get("b") == 2
+        assert kv.check_consistency()
+
+    def test_raft_partitioned_leader_cannot_commit(self):
+        kv = ReplicatedKV(n_replicas=5, protocol="raft", seed=13)
+        kv.put("a", 1)
+        leader = kv._current_leader()
+        names = [r.name for r in kv.replicas]
+        others = [n for n in names if n != leader.name]
+        kv.cluster.network.partitions.split([leader.name],
+                                            others + ["kvclient"])
+        kv.put("b", 2)
+        kv.cluster.network.partitions.heal()
+        kv.settle(150.0)
+        assert kv.get("b") == 2
+        assert kv.check_consistency()
+
+
+class TestDeterminism:
+    """The substrate-wide guarantee: seeded runs replay exactly."""
+
+    @pytest.mark.parametrize("runner", ["paxos", "pbft", "mining"])
+    def test_identical_seed_identical_trace(self, runner):
+        def trace(seed):
+            cluster = Cluster(seed=seed, delivery=UniformDelayModel())
+            if runner == "paxos":
+                from repro.protocols.paxos import run_basic_paxos
+                result = run_basic_paxos(cluster, proposals=("X", "Y"),
+                                         stagger=0.5)
+                return (result.decided_values, result.messages, cluster.now)
+            if runner == "pbft":
+                from repro.protocols.pbft import run_pbft
+                result = run_pbft(cluster, f=1, n_clients=1,
+                                  operations_per_client=3)
+                return (result.executed_logs(), result.messages, cluster.now)
+            from repro.blockchain import run_mining_network
+            result = run_mining_network(cluster, hashrates=(100.0,) * 3,
+                                        target_block_time=20.0,
+                                        duration=800.0)
+            return ([b.hash for b in result.consensus_chain()],
+                    result.messages)
+
+        assert trace(77) == trace(77)
+        assert trace(77) != trace(78)
+
+
+class TestProtocolInteroperability:
+    def test_same_workload_three_protocols_same_final_state(self):
+        """The SMR promise: the protocol is interchangeable; the state
+        machine outcome is identical."""
+        workload = [("put", "a", 1), ("incr", "a", 0), ("put", "b", 2),
+                    ("delete", "a"), ("incr", "c", 7)]
+        finals = []
+        for protocol, n in (("multi-paxos", 3), ("raft", 3), ("pbft", 4)):
+            kv = ReplicatedKV(n_replicas=n, protocol=protocol, seed=31)
+            for command in workload:
+                kv.execute(command)
+            kv.settle()
+            machines = [r.state_machine for r in kv.replicas if not r.crashed]
+            longest = max(machines, key=lambda m: m.ops_applied)
+            finals.append(longest.snapshot())
+        assert finals[0] == finals[1] == finals[2]

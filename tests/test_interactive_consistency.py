@@ -1,0 +1,94 @@
+"""Tests for Pease–Shostak–Lamport interactive consistency and OM(m):
+the 3f+1 lower bound, including the paper's worked N=4 and N=3 cases."""
+
+import pytest
+
+from repro.core import Cluster
+from repro.net import SynchronousModel
+from repro.protocols.interactive_consistency import (
+    UNKNOWN,
+    majority,
+    om_decide,
+    om_satisfies_ic,
+    run_interactive_consistency,
+)
+
+
+@pytest.fixture
+def ic_cluster(make_cluster):
+    return make_cluster(seed=0, delivery=SynchronousModel(0.5))
+
+
+class TestMajority:
+    def test_strict_majority(self):
+        assert majority([1, 1, 2]) == 1
+        assert majority([1, 2]) == UNKNOWN
+        assert majority([1]) == 1
+        assert majority([]) == UNKNOWN
+        assert majority([1, 2, 3]) == UNKNOWN
+        assert majority([2, 2, 2, 1, 1]) == 2
+
+
+class TestWorkedExamples:
+    def test_case_one_n4_f1(self, ic_cluster):
+        """The slides' Case I: honest processes compute (1,2,UNKNOWN,4),
+        identically."""
+        result = run_interactive_consistency(ic_cluster, n=4, faulty=(2,))
+        assert result.agreement()
+        assert result.validity()
+        assert result.honest_results()[0] == (1, 2, UNKNOWN, 4)
+
+    def test_case_two_n3_f1_all_unknown(self, ic_cluster):
+        """Case II: below 3f+1 every entry ties out to UNKNOWN."""
+        result = run_interactive_consistency(ic_cluster, n=3, faulty=(2,))
+        for vector in result.honest_results():
+            assert vector == (UNKNOWN, UNKNOWN, UNKNOWN)
+        assert not result.validity()
+
+    def test_no_faults_full_vector(self, ic_cluster):
+        result = run_interactive_consistency(ic_cluster, n=4, faulty=())
+        assert result.honest_results()[0] == (1, 2, 3, 4)
+        assert result.agreement() and result.validity()
+
+    def test_faulty_position_varies(self, make_cluster):
+        for position in range(4):
+            cluster = make_cluster(seed=1, delivery=SynchronousModel(0.5))
+            result = run_interactive_consistency(cluster, n=4,
+                                                 faulty=(position,))
+            assert result.agreement(), position
+            assert result.validity(), position
+            vector = result.honest_results()[0]
+            assert vector[position] == UNKNOWN
+
+    def test_larger_clusters_one_fault(self, make_cluster):
+        cluster = make_cluster(seed=2, delivery=SynchronousModel(0.5))
+        result = run_interactive_consistency(cluster, n=7, faulty=(3,))
+        assert result.agreement() and result.validity()
+
+
+class TestOmRecursive:
+    def test_bound_holds_at_3f_plus_1(self):
+        assert om_satisfies_ic(1, 4, {2})
+        assert om_satisfies_ic(1, 4, {0})  # faulty commander
+        assert om_satisfies_ic(2, 7, {1, 4})
+
+    def test_bound_fails_below_3f_plus_1(self):
+        assert not om_satisfies_ic(1, 3, {2})
+        assert not om_satisfies_ic(2, 6, {1, 4})
+
+    def test_loyal_commander_value_preserved(self):
+        decisions = om_decide(1, "RETREAT", 4, {3})
+        assert set(decisions.values()) == {"RETREAT"}
+
+    def test_faulty_commander_still_agreement(self):
+        decisions = om_decide(1, "whatever", 4, {0})
+        values = set(decisions.values())
+        assert len(values) == 1  # IC1 even when the source lies
+
+    def test_om0_trusts_sender(self):
+        decisions = om_decide(0, "GO", 4, set())
+        assert set(decisions.values()) == {"GO"}
+
+    def test_no_traitors_any_m(self):
+        for m in (0, 1, 2):
+            assert om_satisfies_ic(m, 3 * m + 1 if m else 4, set())

@@ -1,0 +1,171 @@
+"""Tests for the Chubby-style lock service, SPV light clients, and the
+consensus ↔ atomic-broadcast reductions."""
+
+import dataclasses
+
+import pytest
+
+from repro.blockchain import (
+    Blockchain,
+    LightClient,
+    build_inclusion_proof,
+    make_transaction,
+    mine,
+)
+from repro.crypto import HASH_SPACE, KeyRegistry
+from repro.smr import (
+    AtomicBroadcast,
+    LockService,
+    LockStateMachine,
+    consensus_from_broadcast,
+)
+
+
+class TestLockStateMachine:
+    def setup_method(self):
+        self.sm = LockStateMachine()
+
+    def test_acquire_release(self):
+        assert self.sm.apply(("acquire", "L", "s1", 0.0, 30.0)) is True
+        assert self.sm.apply(("acquire", "L", "s2", 1.0, 30.0)) is False
+        assert self.sm.apply(("release", "L", "s1", 2.0)) is True
+        assert self.sm.apply(("acquire", "L", "s2", 3.0, 30.0)) is True
+
+    def test_lease_expiry_frees_lock(self):
+        self.sm.apply(("acquire", "L", "s1", 0.0, 10.0))
+        assert self.sm.apply(("holder", "L", 5.0)) == "s1"
+        assert self.sm.apply(("holder", "L", 10.0)) is None
+        assert self.sm.apply(("acquire", "L", "s2", 11.0, 10.0)) is True
+
+    def test_keepalive_extends_all_sessions_locks(self):
+        self.sm.apply(("acquire", "L1", "s1", 0.0, 10.0))
+        self.sm.apply(("acquire", "L2", "s1", 0.0, 10.0))
+        assert self.sm.apply(("keepalive", "s1", 8.0, 10.0)) == 2
+        assert self.sm.apply(("holder", "L1", 15.0)) == "s1"
+
+    def test_reacquire_by_holder_refreshes(self):
+        self.sm.apply(("acquire", "L", "s1", 0.0, 10.0))
+        assert self.sm.apply(("acquire", "L", "s1", 9.0, 10.0)) is True
+        assert self.sm.apply(("holder", "L", 15.0)) == "s1"
+
+    def test_release_by_nonholder_refused(self):
+        self.sm.apply(("acquire", "L", "s1", 0.0, 30.0))
+        assert self.sm.apply(("release", "L", "s2", 1.0)) is False
+
+
+class TestLockService:
+    def test_master_election_pattern(self):
+        svc = LockService(seed=1, lease=30.0)
+        assert svc.acquire("master", "A")
+        assert not svc.acquire("master", "B")
+        assert svc.holder("master") == "A"
+
+    def test_dead_session_loses_lock_after_lease(self):
+        svc = LockService(seed=2, lease=25.0)
+        svc.acquire("master", "A")
+        svc.advance_time(40.0)  # A never keeps alive
+        assert svc.holder("master") is None
+        assert svc.acquire("master", "B")
+
+    def test_keepalive_retains_lock(self):
+        svc = LockService(seed=3, lease=25.0)
+        svc.acquire("master", "A")
+        for _ in range(3):
+            svc.advance_time(15.0)
+            svc.keepalive("A")
+        assert svc.holder("master") == "A"
+
+    def test_survives_replica_leader_crash(self):
+        svc = LockService(seed=4)
+        svc.acquire("master", "A")
+        assert svc.crash_leader() is not None
+        assert svc.holder("master") == "A"
+        assert svc.check_consistency()
+
+
+class TestLightClient:
+    def _chain_with_tx(self):
+        keys = KeyRegistry()
+        chain = Blockchain(initial_target=HASH_SPACE >> 10, keys=keys)
+        tx = make_transaction(keys, "satoshi", "alice", 5.0, 0)
+        for i in range(5):
+            txs = [tx] if i == 1 else []
+            block = mine(chain.next_block("m", txs, timestamp=float(i + 1)))
+            chain.add_block(block)
+        return chain, tx
+
+    def test_header_sync_and_inclusion(self):
+        chain, tx = self._chain_with_tx()
+        client = LightClient(chain.genesis.header)
+        assert client.sync_from(chain) == 5
+        proof = build_inclusion_proof(chain, tx.txid)
+        assert client.verify_inclusion(proof) == 3  # 3 blocks on top
+
+    def test_min_confirmations_enforced(self):
+        chain, tx = self._chain_with_tx()
+        client = LightClient(chain.genesis.header)
+        client.sync_from(chain)
+        proof = build_inclusion_proof(chain, tx.txid)
+        assert client.verify_inclusion(proof, min_confirmations=3) == 3
+        assert client.verify_inclusion(proof, min_confirmations=4) is None
+
+    def test_forged_proof_rejected(self):
+        chain, tx = self._chain_with_tx()
+        client = LightClient(chain.genesis.header)
+        client.sync_from(chain)
+        proof = build_inclusion_proof(chain, tx.txid)
+        assert client.verify_inclusion(
+            dataclasses.replace(proof, txid="bogus")) is None
+        assert client.verify_inclusion(
+            dataclasses.replace(proof, height=proof.height + 1)) is None
+
+    def test_bad_header_rejected(self):
+        chain, _tx = self._chain_with_tx()
+        client = LightClient(chain.genesis.header)
+        blocks = chain.main_chain()
+        # Skip a link: header 2 doesn't extend genesis.
+        assert not client.add_header(blocks[2].header)
+        assert client.rejected == 1
+        # Unmined header fails PoW.
+        from repro.blockchain import build_block, make_coinbase
+        fake = build_block(client.tip.hash, [make_coinbase("m", 50.0, 1)],
+                           timestamp=9.0, target=1, height=1)
+        assert not client.add_header(fake.header)
+
+    def test_light_storage_far_below_full_blocks(self):
+        chain, _tx = self._chain_with_tx()
+        client = LightClient(chain.genesis.header)
+        client.sync_from(chain)
+        full_bytes = sum(
+            80 + 200 * len(block.transactions)
+            for block in chain.main_chain()
+        )
+        assert client.storage_headers_bytes() < full_bytes
+
+    def test_unconfirmed_tx_has_no_proof(self):
+        chain, _tx = self._chain_with_tx()
+        assert build_inclusion_proof(chain, "nonexistent") is None
+
+
+class TestReductions:
+    def test_atomic_broadcast_total_order(self):
+        broadcast = AtomicBroadcast.build(senders=("s1", "s2"), seed=2)
+        for i in range(4):
+            broadcast.broadcast("s1", "a%d" % i)
+            broadcast.broadcast("s2", "b%d" % i)
+        broadcast.run_until_delivered(8)
+        assert broadcast.total_order_holds()
+        sequences = broadcast.delivered()
+        assert len(sequences[0]) >= 8
+
+    def test_broadcast_validity(self):
+        broadcast = AtomicBroadcast.build(senders=("s1",), seed=5)
+        broadcast.broadcast("s1", "only")
+        broadcast.run_until_delivered(1)
+        assert broadcast.delivered()[0][0] == ("s1", "only")
+
+    def test_consensus_from_broadcast_agreement(self):
+        for seed in range(4):
+            decisions = consensus_from_broadcast(["X", "Y", "Z"], seed=seed)
+            assert len(set(decisions)) == 1
+            assert decisions[0] in ("X", "Y", "Z")

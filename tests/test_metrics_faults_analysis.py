@@ -1,0 +1,175 @@
+"""Tests for metrics accounting, complexity fitting, fault injection and
+the analysis layer."""
+
+import pytest
+
+from repro.analysis import (
+    LOWER_BOUNDS,
+    PAPER_TABLE,
+    claim_for,
+    comparison_table,
+    render_table,
+)
+from repro.core import Cluster
+from repro.faults import FaultPlan
+from repro.metrics import MetricsCollector, classify_order, fit_order
+from repro.net import Message
+
+
+class TestComplexityFitting:
+    def test_linear(self):
+        samples = [(n, 10 * n) for n in (4, 7, 10, 13)]
+        assert abs(fit_order(samples) - 1.0) < 0.01
+        assert classify_order(fit_order(samples)) == "O(N)"
+
+    def test_quadratic(self):
+        samples = [(n, 3 * n * n) for n in (4, 7, 10, 13)]
+        assert classify_order(fit_order(samples)) == "O(N^2)"
+
+    def test_cubic(self):
+        samples = [(n, n ** 3) for n in (4, 7, 10)]
+        assert classify_order(fit_order(samples)) == "O(N^3)"
+
+    def test_noisy_linear_still_classified(self):
+        samples = [(4, 45), (7, 66), (10, 108), (13, 120)]
+        assert classify_order(fit_order(samples)) == "O(N)"
+
+    def test_out_of_band_exponent_labelled_explicitly(self):
+        assert classify_order(5.0) == "O(N^5.0)"
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            fit_order([(4, 10), (4, 12)])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_order([(4, 0), (8, 10)])
+
+
+class TestMetricsCollector:
+    def test_request_latency_tracking(self):
+        metrics = MetricsCollector()
+        metrics.start_request("r1", 1.0)
+        metrics.finish_request("r1", 4.0, phases=2)
+        assert metrics.latencies() == [3.0]
+        assert metrics.mean_latency() == 3.0
+
+    def test_phase_marks_deduplicated_in_order(self):
+        metrics = MetricsCollector()
+        metrics.mark_phase("p", "prepare", 1.0)
+        metrics.mark_phase("p", "accept", 2.0)
+        metrics.mark_phase("p", "prepare", 3.0)
+        metrics.mark_phase("q", "other", 4.0)
+        assert metrics.phases_for("p") == ["prepare", "accept"]
+
+    def test_snapshot_and_reset(self):
+        metrics = MetricsCollector()
+        metrics.mark_phase("p", "x", 0.0)
+        snap = metrics.snapshot()
+        assert snap["messages_total"] == 0
+        metrics.reset()
+        assert metrics.phase_marks == []
+
+
+class TestFaultPlan:
+    def test_scheduled_crash_and_restart(self, cluster):
+        from repro.core import Node
+        node = cluster.add_node(Node, "n0")
+        plan = FaultPlan(cluster)
+        plan.crash_at(5.0, "n0")
+        plan.restart_at(10.0, "n0")
+        cluster.sim.run(until=7.0)
+        assert node.crashed
+        cluster.sim.run(until=12.0)
+        assert not node.crashed
+        kinds = [kind for _t, kind, _d in plan.events]
+        assert kinds == ["crash", "restart"]
+
+    def test_partition_and_heal(self, cluster):
+        plan = FaultPlan(cluster)
+        plan.partition_at(1.0, ["a"], ["b"])
+        plan.heal_at(5.0)
+        cluster.sim.run(until=2.0)
+        assert not cluster.network.partitions.connected("a", "b")
+        cluster.sim.run(until=6.0)
+        assert cluster.network.partitions.connected("a", "b")
+
+    def test_windowed_message_drop(self, cluster):
+        from dataclasses import dataclass
+        from repro.core import Node
+
+        @dataclass(frozen=True)
+        class Beep(Message):
+            k: int
+
+        class Sink(Node):
+            def __init__(self, sim, network, name):
+                super().__init__(sim, network, name)
+                self.got = []
+
+            def handle_beep(self, msg, src):
+                self.got.append(msg.k)
+
+        a = cluster.add_node(Sink, "a")
+        b = cluster.add_node(Sink, "b")
+        plan = FaultPlan(cluster)
+        plan.drop_messages(lambda src, dst, msg: src == "a",
+                           between=(5.0, 10.0))
+        cluster.sim.schedule(1.0, lambda: a.send("b", Beep(1)))
+        cluster.sim.schedule(7.0, lambda: a.send("b", Beep(2)))
+        cluster.sim.schedule(12.0, lambda: a.send("b", Beep(3)))
+        cluster.run()
+        assert b.got == [1, 3]
+
+    def test_isolate_node(self, cluster):
+        from repro.core import Node
+        cluster.add_node(Node, "x")
+        cluster.add_node(Node, "y")
+        plan = FaultPlan(cluster)
+        plan.isolate_node("x")
+        assert cluster.network.send("x", "y", _DummyMsg()) is False
+        assert cluster.network.send("y", "x", _DummyMsg()) is False
+
+
+from dataclasses import dataclass as _dc  # noqa: E402
+
+
+@_dc(frozen=True)
+class _DummyMsg(Message):
+    pass
+
+
+class TestAnalysis:
+    def test_paper_table_covers_headline_protocols(self):
+        names = {claim.protocol for claim in PAPER_TABLE}
+        assert {"paxos", "pbft", "hotstuff", "zyzzyva", "minbft",
+                "pow"} <= names
+
+    def test_claim_lookup(self):
+        claim = claim_for("pbft")
+        assert claim.nodes == "3f+1" and claim.complexity == "O(N^2)"
+        with pytest.raises(KeyError):
+            claim_for("nonexistent")
+
+    def test_nodes_of_f_formulas(self):
+        assert claim_for("paxos").nodes_of_f(2) == 5
+        assert claim_for("pbft").nodes_of_f(2) == 7
+        assert claim_for("minbft").nodes_of_f(2) == 5
+
+    def test_lower_bounds(self):
+        assert LOWER_BOUNDS["byzantine_agreement_nodes"](1) == 4
+        assert LOWER_BOUNDS["hybrid_nodes"](1, 1) == 6
+        assert LOWER_BOUNDS["bft_quorum_intersection"](2) == 3
+
+    def test_render_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": None}]
+        text = render_table(rows, title="T")
+        assert "T" in text and "22" in text and "-" in text
+
+    def test_render_empty(self):
+        assert render_table([]) == "(no rows)"
+
+    def test_comparison_table_nonempty(self):
+        import repro.protocols  # noqa: F401
+        rows = comparison_table()
+        assert len(rows) >= 15

@@ -1,0 +1,108 @@
+"""Tests for Multi-Paxos: the replicated log, the phase-1 amortisation,
+leader failover, and client semantics."""
+
+from repro.core import Cluster
+from repro.protocols.multipaxos import run_multipaxos
+from repro.smr import KVStateMachine, check_log_consistency
+
+
+class TestNormalOperation:
+    def test_clients_complete_and_logs_agree(self, cluster):
+        result = run_multipaxos(cluster, n_replicas=3, n_clients=2,
+                                commands_per_client=5)
+        assert all(c.done for c in result.clients)
+        assert result.logs_consistent()
+
+    def test_log_is_gap_free_and_ordered(self, cluster):
+        result = run_multipaxos(cluster, n_replicas=3, n_clients=1,
+                                commands_per_client=6)
+        log = result.replicas[0].committed_log()
+        indices = [index for index, _ in log]
+        assert indices == list(range(len(indices)))
+
+    def test_state_machines_apply_in_log_order(self, cluster):
+        result = run_multipaxos(cluster, n_replicas=3, n_clients=1,
+                                commands_per_client=4)
+        cluster.sim.run_for(30.0)  # commits drain to followers
+        leader_history = None
+        for replica in result.replicas:
+            history = replica.state_machine.history
+            if leader_history is None or len(history) > len(leader_history):
+                leader_history = history
+        # Every replica's history is a prefix of the longest one.
+        for replica in result.replicas:
+            history = replica.state_machine.history
+            assert history == leader_history[: len(history)]
+
+    def test_client_results_are_log_positions(self, cluster):
+        result = run_multipaxos(cluster, n_replicas=3, n_clients=1,
+                                commands_per_client=5)
+        assert result.clients[0].results == [0, 1, 2, 3, 4]
+
+    def test_five_replicas(self, make_cluster):
+        result = run_multipaxos(make_cluster(seed=4), n_replicas=5,
+                                n_clients=2, commands_per_client=4)
+        assert all(c.done for c in result.clients)
+        assert result.logs_consistent()
+
+
+class TestPhaseOneAmortisation:
+    """The slides' optimisation: phase 1 only on leader change."""
+
+    def test_single_prepare_for_many_commands(self, cluster):
+        run_multipaxos(cluster, n_replicas=3, n_clients=1,
+                       commands_per_client=10)
+        by_type = cluster.metrics.by_type
+        # One bootstrap election: n-1 prepare messages, regardless of the
+        # number of commands.
+        assert by_type["mpprepare"] == 2
+        assert by_type["mpaccept"] >= 10 * 2
+
+    def test_steady_state_cost_per_command(self, make_cluster):
+        # Marginal cost of extra commands excludes any phase-1 traffic.
+        costs = {}
+        for k in (5, 15):
+            cluster = make_cluster(seed=2)
+            run_multipaxos(cluster, n_replicas=3, n_clients=1,
+                           commands_per_client=k)
+            costs[k] = cluster.metrics.by_type["mpprepare"]
+        assert costs[5] == costs[15]  # prepares don't scale with commands
+
+
+class TestLeaderFailover:
+    def test_view_change_after_leader_crash(self, make_cluster):
+        result = run_multipaxos(make_cluster(seed=9), n_replicas=5,
+                                n_clients=1, commands_per_client=8,
+                                crash_leader_at=6.0)
+        assert all(c.done for c in result.clients)
+        assert result.logs_consistent()
+        views = sum(r.view_changes for r in result.replicas)
+        assert views >= 2  # bootstrap + at least one takeover
+
+    def test_no_committed_entry_lost_on_failover(self, make_cluster):
+        for seed in (3, 11, 27):
+            result = run_multipaxos(make_cluster(seed=seed), n_replicas=3,
+                                    n_clients=1, commands_per_client=6,
+                                    crash_leader_at=8.0)
+            assert all(c.done for c in result.clients), seed
+            assert check_log_consistency(result.committed_logs()), seed
+
+    def test_crashed_replica_rejoin_consistency(self, make_cluster):
+        cluster = make_cluster(seed=5)
+        result = run_multipaxos(cluster, n_replicas=3, n_clients=1,
+                                commands_per_client=4, crash_leader_at=5.0)
+        crashed = [r for r in result.replicas if r.crashed][0]
+        crashed.restart()
+        cluster.sim.run_for(60.0)
+        assert result.logs_consistent()
+
+
+class TestCustomStateMachine:
+    def test_kv_state_machine_plugs_in(self, cluster):
+        result = run_multipaxos(cluster, n_replicas=3, n_clients=1,
+                                commands_per_client=0,
+                                state_machine_factory=KVStateMachine)
+        # Inject commands manually via a fresh client-less check: just
+        # assert wiring produced KV machines.
+        assert all(isinstance(r.state_machine, KVStateMachine)
+                   for r in result.replicas)

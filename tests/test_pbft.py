@@ -1,0 +1,183 @@
+"""Tests for PBFT: the three phases, quorum arithmetic, Byzantine
+primaries, view change, and garbage collection."""
+
+import pytest
+
+from repro.core import Cluster
+from repro.core.exceptions import ConfigurationError
+from repro.protocols.pbft import (
+    EquivocatingPrimary,
+    PbftReplica,
+    SilentPrimary,
+    run_pbft,
+)
+
+
+class TestConfiguration:
+    def test_rejects_too_few_replicas(self, cluster):
+        with pytest.raises(ConfigurationError):
+            PbftReplica(cluster.sim, cluster.network, "r0",
+                        ["r0", "r1", "r2"], f=1)
+
+    def test_quorum_is_2f_plus_1(self, cluster):
+        names = ["r%d" % i for i in range(7)]
+        replica = PbftReplica(cluster.sim, cluster.network, "r0", names, f=2)
+        assert replica.quorum == 5
+
+
+class TestNormalCase:
+    def test_clients_complete_logs_consistent(self, cluster):
+        result = run_pbft(cluster, f=1, n_clients=2, operations_per_client=4)
+        assert all(c.done for c in result.clients)
+        assert result.logs_consistent()
+
+    def test_three_phase_message_types_present(self, cluster):
+        run_pbft(cluster, f=1, n_clients=1, operations_per_client=2)
+        by_type = cluster.metrics.by_type
+        assert by_type["preprepare"] > 0
+        assert by_type["pbftprepare"] > 0
+        assert by_type["pbftcommit"] > 0
+
+    def test_quadratic_message_complexity(self, make_cluster):
+        counts = {}
+        for f in (1, 2, 3):
+            cluster = make_cluster(seed=1)
+            run_pbft(cluster, f=f, n_clients=1, operations_per_client=2)
+            n = 3 * f + 1
+            counts[n] = cluster.metrics.by_type["pbftprepare"] + \
+                cluster.metrics.by_type["pbftcommit"]
+        # prepare+commit grow ~n² (each replica broadcasts to n−1 others).
+        assert counts[10] > 4 * counts[4]
+
+    def test_f2_cluster(self, make_cluster):
+        result = run_pbft(make_cluster(seed=5), f=2, n_clients=1,
+                          operations_per_client=3)
+        assert all(c.done for c in result.clients)
+        assert result.logs_consistent()
+
+    def test_execution_strictly_in_sequence_order(self, cluster):
+        result = run_pbft(cluster, f=1, n_clients=2, operations_per_client=3)
+        for replica in result.honest_replicas():
+            seqs = [seq for seq, _op in replica.executed_requests]
+            assert seqs == sorted(seqs)
+
+
+class TestCrashedPrimary:
+    def test_view_change_restores_liveness(self, make_cluster):
+        for seed in (2, 6):
+            result = run_pbft(make_cluster(seed=seed), f=1, n_clients=1,
+                              operations_per_client=3, crash_primary_at=5.0)
+            assert all(c.done for c in result.clients), seed
+            assert result.logs_consistent(), seed
+            live_views = [r.view for r in result.replicas if not r.crashed]
+            assert all(v >= 1 for v in live_views)
+
+    def test_committed_requests_survive_view_change(self, make_cluster):
+        # The prepared-certificate transfer: nothing executed before the
+        # crash may be reassigned a different request.
+        for seed in range(2, 10):
+            result = run_pbft(make_cluster(seed=seed), f=1, n_clients=1,
+                              operations_per_client=3, crash_primary_at=5.0)
+            assert result.logs_consistent(), seed
+
+
+class TestByzantinePrimaries:
+    def test_silent_primary_triggers_view_change(self, make_cluster):
+        result = run_pbft(make_cluster(seed=3), f=1, n_clients=1,
+                          operations_per_client=2,
+                          primary_class=SilentPrimary)
+        assert all(c.done for c in result.clients)
+        backups = result.replicas[1:]
+        assert all(r.view >= 1 for r in backups)
+
+    def test_equivocating_primary_cannot_split_execution(self, make_cluster):
+        """The attack PBFT's prepare phase exists for: same sequence
+        number, different requests.  No two honest replicas may execute
+        different operations at one sequence number."""
+        for seed in (4, 5, 6):
+            result = run_pbft(make_cluster(seed=seed), f=1, n_clients=1,
+                              operations_per_client=2,
+                              primary_class=EquivocatingPrimary)
+            assert result.logs_consistent(), seed
+            assert all(c.done for c in result.clients), seed
+
+    def test_client_needs_f_plus_1_matching_replies(self, cluster):
+        result = run_pbft(cluster, f=1, n_clients=1, operations_per_client=1)
+        client = result.clients[0]
+        assert client.f + 1 == 2
+        assert client.done
+
+
+class TestGarbageCollection:
+    def test_checkpointing_truncates_log(self, make_cluster):
+        result = run_pbft(make_cluster(seed=6), f=1, n_clients=1,
+                          operations_per_client=20, checkpoint_interval=4)
+        assert all(c.done for c in result.clients)
+        stable = [r.last_stable_seq for r in result.replicas]
+        assert max(stable) >= 15
+        # Slots at or below the stable checkpoint were discarded.
+        for replica in result.replicas:
+            assert all(seq > replica.last_stable_seq for seq in replica.slots)
+
+    def test_checkpoint_needs_quorum_of_matching_digests(self, cluster):
+        names = ["r%d" % i for i in range(4)]
+        replicas = cluster.add_nodes(PbftReplica, names, names, 1)
+        replica = replicas[0]
+        replica._record_checkpoint_vote(3, "digest-a", "r1")
+        replica._record_checkpoint_vote(3, "digest-b", "r2")
+        replica._record_checkpoint_vote(3, "digest-a", "r3")
+        assert replica.last_stable_seq == -1  # only 2 matching, need 3
+        replica._record_checkpoint_vote(3, "digest-a", "r0")
+        assert replica.last_stable_seq == 3
+
+
+class TestClientAuthentication:
+    """Client signatures: the defence against request fabrication."""
+
+    def test_forging_primary_succeeds_without_auth(self, make_cluster):
+        # The vulnerability demo: unauthenticated clusters can be fed
+        # fabricated operations by a Byzantine primary.
+        from repro.protocols.pbft import ForgingPrimary
+        result = run_pbft(make_cluster(seed=4), f=1, n_clients=1,
+                          operations_per_client=1,
+                          primary_class=ForgingPrimary, horizon=400.0)
+        forged = any(
+            op == ("forged-op",)
+            for replica in result.honest_replicas()
+            for _seq, op in replica.executed_requests
+        )
+        assert forged
+
+    def test_forging_primary_defeated_by_signatures(self, make_cluster):
+        from repro.protocols.pbft import ForgingPrimary
+        for seed in (4, 7):
+            result = run_pbft(make_cluster(seed=seed), f=1, n_clients=1,
+                              operations_per_client=1,
+                              primary_class=ForgingPrimary,
+                              authenticate_clients=True, horizon=800.0)
+            forged = any(
+                op == ("forged-op",)
+                for replica in result.honest_replicas()
+                for _seq, op in replica.executed_requests
+            )
+            assert not forged, seed
+            assert result.clients[0].done, seed
+            assert result.logs_consistent(), seed
+
+    def test_honest_cluster_with_auth_still_works(self, make_cluster):
+        result = run_pbft(make_cluster(seed=1), f=1, n_clients=2,
+                          operations_per_client=3,
+                          authenticate_clients=True)
+        assert all(c.done for c in result.clients)
+        assert result.logs_consistent()
+
+    def test_unsigned_request_refused_when_auth_on(self, make_cluster):
+        from repro.protocols.pbft import PbftRequest
+        cluster = make_cluster(seed=1)
+        names = ["r%d" % i for i in range(4)]
+        replicas = cluster.add_nodes(PbftReplica, names, names, 1,
+                                     keys=cluster.keys)
+        primary = replicas[0]
+        primary.deliver(PbftRequest(("put", "x", 1), 0.0, "mallory"), "r1")
+        cluster.run(until=50.0)
+        assert primary.next_seq == 0  # nothing was ordered

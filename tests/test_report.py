@@ -1,0 +1,46 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+import pathlib
+
+from repro.analysis import collect_results, generate_experiments_md
+from repro.analysis.report import EXPERIMENT_NOTES
+
+
+class TestReport:
+    def test_collect_orders_numerically(self, tmp_path):
+        for name in ("E10_x.txt", "E2_y.txt", "E1_z.txt"):
+            (tmp_path / name).write_text("table")
+        results = collect_results(tmp_path)
+        assert list(results) == ["E1", "E2", "E10"]
+
+    def test_generate_includes_tables_and_notes(self, tmp_path):
+        (tmp_path / "E1_table.txt").write_text("THE-TABLE")
+        out = tmp_path / "OUT.md"
+        path, count = generate_experiments_md(results_dir=tmp_path,
+                                              output=out)
+        assert count == 1
+        text = out.read_text()
+        assert "THE-TABLE" in text
+        assert "## E1" in text
+
+    def test_unknown_experiment_gets_placeholder(self, tmp_path):
+        (tmp_path / "E99_new.txt").write_text("rows")
+        out = tmp_path / "OUT.md"
+        generate_experiments_md(results_dir=tmp_path, output=out)
+        assert "(no commentary recorded yet)" in out.read_text()
+
+    def test_all_current_benches_have_commentary(self):
+        results = collect_results("benchmarks/results")
+        missing = [eid for eid in results if eid not in EXPERIMENT_NOTES]
+        assert not missing, missing
+
+    def test_real_experiments_md_is_current(self):
+        # The committed EXPERIMENTS.md must match what the generator
+        # produces from the committed result artifacts.
+        current = pathlib.Path("EXPERIMENTS.md").read_text()
+        out = pathlib.Path("EXPERIMENTS.md.check")
+        try:
+            generate_experiments_md(output=out)
+            assert out.read_text() == current
+        finally:
+            out.unlink(missing_ok=True)

@@ -1,0 +1,223 @@
+"""Unit tests for the discrete-event kernel: events, clock, processes."""
+
+import pytest
+
+from repro.sim import (
+    ClockError,
+    EventLimitExceeded,
+    EventQueue,
+    Process,
+    Simulator,
+)
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(2.0, seen.append, (2,))
+        queue.push(1.0, seen.append, (1,))
+        queue.push(3.0, seen.append, (3,))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.fire()
+        assert seen == [1, 2, 3]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        seen = []
+        for i in range(5):
+            queue.push(1.0, seen.append, (i,))
+        while (event := queue.pop()) is not None:
+            event.fire()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_skipped(self):
+        queue = EventQueue()
+        seen = []
+        event = queue.push(1.0, seen.append, (1,))
+        queue.push(2.0, seen.append, (2,))
+        event.cancel()
+        while (evt := queue.pop()) is not None:
+            evt.fire()
+        assert seen == [2]
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert queue.pop() is None
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5.0, lambda: times.append(sim.now))
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5, 5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ClockError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ClockError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(10.0, fired.append, "b")
+        sim.run(until=5.0)
+        assert fired == ["a"]
+        assert sim.now == 5.0
+        sim.run()  # drain the rest
+        assert fired == ["a", "b"]
+
+    def test_stop_when_predicate(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(stop_when=lambda: len(fired) >= 3)
+        assert fired == [0, 1, 2]
+
+    def test_event_limit_guards_livelock(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(EventLimitExceeded):
+            sim.run(max_events=100)
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, fired.append, 2)
+        sim.run()
+        assert fired == [(1, None)] or fired[0] is not None
+        assert len(fired) == 1
+
+    def test_determinism_same_seed(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            values = []
+            for _ in range(20):
+                sim.schedule(sim.rng.random() * 10, values.append, sim.rng.random())
+            sim.run()
+            return values
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [3.0]
+
+
+class TestProcess:
+    def test_on_start_called(self):
+        sim = Simulator()
+
+        class P(Process):
+            started = False
+
+            def on_start(self):
+                self.started = True
+
+        proc = P(sim, "p")
+        proc.start()
+        sim.run()
+        assert proc.started
+
+    def test_double_start_is_idempotent(self):
+        sim = Simulator()
+        count = []
+
+        class P(Process):
+            def on_start(self):
+                count.append(1)
+
+        proc = P(sim, "p")
+        proc.start()
+        proc.start()
+        sim.run()
+        assert count == [1]
+
+    def test_crash_cancels_timers(self):
+        sim = Simulator()
+        fired = []
+        proc = Process(sim, "p")
+        proc.set_timer(5.0, fired.append, 1)
+        sim.schedule(1.0, proc.crash)
+        sim.run()
+        assert fired == []
+        assert proc.crashed
+
+    def test_periodic_timer_repeats(self):
+        sim = Simulator()
+        fired = []
+        proc = Process(sim, "p")
+        proc.set_periodic_timer(1.0, lambda: fired.append(sim.now))
+        sim.run(until=4.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_timer_cancel(self):
+        sim = Simulator()
+        fired = []
+        proc = Process(sim, "p")
+        timer = proc.set_timer(1.0, fired.append, 1)
+        timer.cancel()
+        sim.run()
+        assert fired == [] and not timer.active
+
+    def test_restart_hooks(self):
+        sim = Simulator()
+        log = []
+
+        class P(Process):
+            def on_crash(self):
+                log.append("crash")
+
+            def on_restart(self):
+                log.append("restart")
+
+        proc = P(sim, "p")
+        proc.crash()
+        proc.restart()
+        proc.restart()  # no-op when not crashed
+        assert log == ["crash", "restart"]
+
+    def test_timers_dead_after_crash_restart(self):
+        sim = Simulator()
+        fired = []
+        proc = Process(sim, "p")
+        proc.set_periodic_timer(1.0, fired.append, 1)
+        sim.schedule(2.5, proc.crash)
+        sim.schedule(3.0, proc.restart)
+        sim.run(until=6.0)
+        # Only the pre-crash firings; restart does not resurrect timers.
+        assert len(fired) == 2

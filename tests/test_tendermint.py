@@ -1,0 +1,99 @@
+"""Tests for Tendermint-style BFT: chain agreement, rotation, locking."""
+
+import pytest
+
+from repro.core import Cluster
+from repro.core.exceptions import ConfigurationError
+from repro.protocols.tendermint import (
+    TendermintNode,
+    TmBlock,
+    run_tendermint,
+)
+
+
+class TestNormalOperation:
+    def test_chain_grows_and_agrees(self, cluster):
+        result = run_tendermint(cluster, f=1, heights=5)
+        assert result.min_height() == 5
+        assert result.chains_consistent()
+
+    def test_one_round_per_height_when_healthy(self, cluster):
+        result = run_tendermint(cluster, f=1, heights=5)
+        assert all(rounds == 1 for rounds in result.rounds_per_height().values())
+
+    def test_proposer_rotates_across_heights(self, cluster):
+        result = run_tendermint(cluster, f=1, heights=4)
+        validator = result.validators[0]
+        proposers = [validator.proposer_of(h, 0) for h in range(1, 5)]
+        assert len(set(proposers)) == 4  # all four validators led once
+
+    def test_blocks_are_hash_linked(self, cluster):
+        result = run_tendermint(cluster, f=1, heights=4)
+        chain = result.validators[0].chain
+        assert chain[0].prev_hash == "genesis"
+        for previous, block in zip(chain, chain[1:]):
+            assert block.prev_hash == previous.hash
+
+    def test_f2_cluster(self, make_cluster):
+        result = run_tendermint(make_cluster(seed=4), f=2, heights=3)
+        assert result.min_height() == 3
+        assert result.chains_consistent()
+
+    def test_configuration_bound(self, cluster):
+        with pytest.raises(ConfigurationError):
+            TendermintNode(cluster.sim, cluster.network, "v0",
+                           ["v0", "v1", "v2"], 1)
+
+
+class TestFaults:
+    def test_silent_proposer_skipped_by_rotation(self, make_cluster):
+        result = run_tendermint(make_cluster(seed=2), f=1, heights=4,
+                                silent_indices=(1,))
+        assert result.min_height() == 4
+        assert result.chains_consistent()
+        # The height whose first proposer was silent used an extra round.
+        rounds = result.rounds_per_height()
+        assert max(rounds.values()) >= 2
+        assert min(rounds.values()) == 1
+
+    def test_crashed_validator_tolerated(self, make_cluster):
+        cluster = make_cluster(seed=3)
+        names = ["v%d" % i for i in range(4)]
+        validators = [
+            cluster.add_node(TendermintNode, name, names, 1, target_height=4)
+            for name in names
+        ]
+        cluster.sim.schedule(2.0, validators[2].crash)
+        cluster.start_all()
+        cluster.run_until(
+            lambda: all(len(v.chain) >= 4
+                        for v in validators if not v.crashed),
+            until=4000.0,
+        )
+        live = [v for v in validators if not v.crashed]
+        assert all(len(v.chain) >= 4 for v in live)
+        chains = [[b.hash for b in v.chain] for v in live]
+        for chain_a in chains:
+            for chain_b in chains:
+                for x, y in zip(chain_a, chain_b):
+                    assert x == y
+
+
+class TestLockingRule:
+    def test_locked_validator_refuses_other_blocks(self, cluster):
+        names = ["v%d" % i for i in range(4)]
+        nodes = cluster.add_nodes(TendermintNode, names, names, 1)
+        validator = nodes[3]
+        block_a = TmBlock(1, "genesis", "A")
+        block_b = TmBlock(1, "genesis", "B")
+        validator.locked_hash = block_a.hash
+        validator.locked_block = block_a
+        validator._blocks[block_a.hash] = block_a
+        # A proposal for B in a later round must draw a nil prevote.
+        from repro.protocols.tendermint import NIL, TmProposal
+        votes_before = dict(validator._prevotes)
+        validator.round = 1
+        validator._on_proposal(TmProposal(1, 1, block_b),
+                               validator.proposer_of(1, 1))
+        own_votes = validator._prevotes.get((1, 1), {})
+        assert own_votes.get(validator.name) == NIL
