@@ -7,7 +7,7 @@ the termination protocol decides.
 
 from repro.analysis import render_table
 from repro.core import Cluster
-from repro.protocols.commit import TxState, run_commit
+from repro.protocols.commit import run_commit
 
 
 def scenario(protocol, crash_after, partial_count=0):

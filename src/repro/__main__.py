@@ -4,6 +4,8 @@ Commands:
 
 * ``list`` — every implemented protocol with its paper property box.
 * ``run <protocol>`` — one live run of a protocol, with a summary.
+* ``trace <protocol>`` — record a causal trace of one run and render it
+  as an ASCII message-flow diagram (optionally exporting JSONL).
 * ``kv`` — interactive-ish replicated-KV demo (scripted operations).
 * ``mine`` — a short PoW mining-network run with fork statistics.
 * ``table`` — the measured-vs-paper comparison table (E1, abridged).
@@ -11,6 +13,7 @@ Commands:
 
 import argparse
 import sys
+from pathlib import Path
 
 from .analysis import claim_for, comparison_table, render_table
 from .core import Cluster
@@ -31,11 +34,23 @@ def cmd_experiments(_args):
 
 
 def cmd_table(_args):
-    sys.path.insert(0, "benchmarks")
+    # Resolve benchmarks/ relative to the repository, not the cwd, so the
+    # command works from anywhere; fall back to the cwd for installs where
+    # the package lives outside a checkout.
+    candidates = [
+        Path(__file__).resolve().parents[2] / "benchmarks",
+        Path.cwd() / "benchmarks",
+    ]
+    for bench_dir in candidates:
+        if (bench_dir / "test_bench_property_table.py").is_file():
+            if str(bench_dir) not in sys.path:
+                sys.path.insert(0, str(bench_dir))
+            break
     try:
         from test_bench_property_table import build_property_table
     except ImportError:
-        print("run from the repository root (needs benchmarks/)")
+        print("cannot locate benchmarks/test_bench_property_table.py "
+              "(looked in %s)" % ", ".join(str(c) for c in candidates))
         return 1
     print(render_table(build_property_table(),
                        title="Paper vs measured (E1)"))
@@ -130,6 +145,33 @@ def cmd_run(args):
     return 0
 
 
+def cmd_trace(args):
+    from .trace import render_flow, write_jsonl
+    runner = _RUNNERS.get(args.protocol)
+    if runner is None:
+        print("unknown or non-runnable protocol %r; choices: %s"
+              % (args.protocol, ", ".join(sorted(_RUNNERS))))
+        return 1
+    cluster = Cluster(seed=args.seed, trace=True)
+    summary = runner(cluster)
+    trace = cluster.trace
+    if args.jsonl:
+        try:
+            count = write_jsonl(trace, args.jsonl)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.jsonl, exc))
+            return 1
+        print("wrote %s (%d events)" % (args.jsonl, count))
+    print(render_flow(trace, nodes=cluster.network.node_names,
+                      max_rows=args.limit,
+                      include_delivers=args.delivers,
+                      include_timers=args.timers))
+    print("%s: %s" % (args.protocol, summary))
+    print("trace: %d events | messages: %d | virtual time: %.1f"
+          % (len(trace), cluster.metrics.messages_total, cluster.now))
+    return 0
+
+
 def cmd_kv(args):
     from .smr import ReplicatedKV
     kv = ReplicatedKV(n_replicas=args.replicas, protocol=args.protocol,
@@ -171,13 +213,32 @@ def main(argv=None):
         description="40 Years of Consensus — run the protocols",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list implemented protocols")
+    sub.add_parser("list",
+                   help="list implemented protocols ('run' executes one, "
+                        "'trace' records and renders its message flow)")
     sub.add_parser("table", help="paper-vs-measured comparison table")
     sub.add_parser("experiments",
                    help="regenerate EXPERIMENTS.md from benchmark results")
-    run_parser = sub.add_parser("run", help="run one protocol")
+    run_parser = sub.add_parser(
+        "run",
+        help="run one protocol (see 'trace' for a causal message-flow "
+             "recording of the same run)")
     run_parser.add_argument("protocol", help="e.g. paxos, pbft, tendermint")
     run_parser.add_argument("--seed", type=int, default=0)
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one protocol with causal tracing and render the "
+             "message flow as an ASCII space-time diagram")
+    trace_parser.add_argument("protocol", help="e.g. paxos, pbft, hotstuff")
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--jsonl", metavar="PATH", default=None,
+                              help="also export the trace as JSONL")
+    trace_parser.add_argument("--limit", type=int, default=80,
+                              help="max rendered event rows (default 80)")
+    trace_parser.add_argument("--delivers", action="store_true",
+                              help="also render message arrivals")
+    trace_parser.add_argument("--timers", action="store_true",
+                              help="also render timer firings")
     kv_parser = sub.add_parser("kv", help="replicated-KV demo")
     kv_parser.add_argument("--protocol", default="multi-paxos",
                            choices=("multi-paxos", "raft", "pbft"))
@@ -193,6 +254,7 @@ def main(argv=None):
         "table": cmd_table,
         "experiments": cmd_experiments,
         "run": cmd_run,
+        "trace": cmd_trace,
         "kv": cmd_kv,
         "mine": cmd_mine,
     }[args.command]

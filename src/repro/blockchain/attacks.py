@@ -121,8 +121,7 @@ def majority_attack_on_network(cluster, honest_rates, attacker_rate,
 
     Returns ``(overtook, public_height, attacker_height)``.
     """
-    from ..crypto.hashing import HASH_SPACE
-    from .miner import Miner, run_mining_network
+    from .miner import run_mining_network
 
     total = float(sum(honest_rates) + attacker_rate)
     result = run_mining_network(

@@ -14,7 +14,7 @@ Both selectors are deterministic functions of the shared RNG, so a
 seeded simulation reproduces identical validator schedules.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 MIN_STAKE_AGE_DAYS = 30.0
 MAX_STAKE_AGE_DAYS = 90.0

@@ -10,7 +10,6 @@ bookkeeping.
 from dataclasses import dataclass
 
 from ..crypto.hashing import sha256_hex
-from ..crypto.signatures import KeyRegistry
 
 #: Bitcoin's schedule, scaled: the driver passes a small interval so a
 #: laptop run crosses several halvings.

@@ -12,6 +12,7 @@ from ..metrics.collector import MetricsCollector
 from ..net.delivery import UniformDelayModel
 from ..net.network import Network
 from ..sim.simulator import Simulator
+from ..trace.tracer import Tracer
 
 
 class Cluster:
@@ -23,15 +24,22 @@ class Cluster:
         Simulation seed; identical seeds replay identical runs.
     delivery:
         Network delivery model; defaults to mildly jittered bounded delay.
+    trace:
+        When true, attach a :class:`~repro.trace.Tracer` recording every
+        send/deliver/drop/timer/phase-mark with per-node Lamport clocks.
+        Off by default; an untraced cluster pays nothing.
     """
 
-    def __init__(self, seed=0, delivery=None):
+    def __init__(self, seed=0, delivery=None, trace=False):
         self.sim = Simulator(seed=seed)
-        self.metrics = MetricsCollector()
+        self.tracer = Tracer(self.sim) if trace else None
+        self.sim.tracer = self.tracer
+        self.metrics = MetricsCollector(tracer=self.tracer)
         self.network = Network(
             self.sim,
             delivery=delivery if delivery is not None else UniformDelayModel(),
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.keys = KeyRegistry(seed=b"cluster-%d" % seed)
         self.usig_authority = UsigAuthority(seed=b"cluster-usig-%d" % seed)
@@ -67,3 +75,9 @@ class Cluster:
     @property
     def now(self):
         return self.sim.now
+
+    @property
+    def trace(self):
+        """The recorded :class:`~repro.trace.Trace`, or ``None`` when the
+        cluster was built without ``trace=True``."""
+        return self.tracer.trace if self.tracer is not None else None

@@ -46,6 +46,15 @@ class Node(Process):
             return 0
         return self.network.multicast(self.name, dsts, message)
 
+    # -- tracing -------------------------------------------------------
+
+    def trace_local(self, label, **detail):
+        """Record a protocol milestone (decide/commit/execute) on the
+        cluster's tracer; free when tracing is off."""
+        tracer = self.network.tracer
+        if tracer is not None:
+            tracer.on_local(self.name, label, detail)
+
     # -- receiving -----------------------------------------------------
 
     def deliver(self, message, src):

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from ..core.node import Node
 from ..net.message import Message
-from .versioning import Versioned, VectorClock, last_writer_wins, reconcile
+from .versioning import Versioned, VectorClock, reconcile
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ comparable clocks order versions; incomparable clocks are *siblings*
 the application (or last-writer-wins) must reconcile.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

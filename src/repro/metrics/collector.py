@@ -39,6 +39,9 @@ class MetricsCollector:
     phase_marks: list = field(default_factory=list)
     _open_requests: dict = field(default_factory=dict)
     finished_requests: list = field(default_factory=list)
+    #: Optional :class:`~repro.trace.Tracer`; phase marks and request
+    #: boundaries are mirrored into the trace when present.
+    tracer: object = None
 
     # -- fed by the network --------------------------------------------
 
@@ -54,6 +57,8 @@ class MetricsCollector:
     def mark_phase(self, protocol, phase, now):
         """Record that ``protocol`` entered communication phase ``phase``."""
         self.phase_marks.append((protocol, phase, now))
+        if self.tracer is not None:
+            self.tracer.on_phase(protocol, phase)
 
     def phases_for(self, protocol):
         """Distinct phases recorded for a protocol, in first-seen order."""
@@ -66,6 +71,8 @@ class MetricsCollector:
     def start_request(self, label, now):
         record = LatencyRecord(label, now)
         self._open_requests[label] = record
+        if self.tracer is not None:
+            self.tracer.on_request(label, "start")
         return record
 
     def finish_request(self, label, now, phases=0):
@@ -75,6 +82,8 @@ class MetricsCollector:
         record.finished_at = now
         record.phases = phases
         self.finished_requests.append(record)
+        if self.tracer is not None:
+            self.tracer.on_request(label, "end")
         return record
 
     # -- derived -----------------------------------------------------------

@@ -25,12 +25,17 @@ class Network:
     metrics:
         Optional :class:`~repro.metrics.MetricsCollector`; every sent
         message is recorded on it.
+    tracer:
+        Optional :class:`~repro.trace.Tracer`; every send, delivery and
+        drop is recorded on it.  ``None`` (the default) keeps the send
+        path on the untraced fast branch.
     """
 
-    def __init__(self, sim, delivery=None, metrics=None):
+    def __init__(self, sim, delivery=None, metrics=None, tracer=None):
         self.sim = sim
         self.delivery = delivery if delivery is not None else UniformDelayModel()
         self.metrics = metrics
+        self.tracer = tracer
         self.partitions = PartitionManager()
         self._nodes = {}
         self._interceptors = []
@@ -83,15 +88,27 @@ class Network:
             raise KeyError("unknown destination %r" % (dst,))
         if self.metrics is not None:
             self.metrics.record_message(src, dst, message)
+        tracer = self.tracer
+        token = tracer.on_send(src, dst, message) if tracer is not None else None
         for interceptor in self._interceptors:
             if interceptor(src, dst, message) is False:
+                if tracer is not None:
+                    tracer.on_drop(src, dst, message, "intercepted", token)
                 return False
         if not self.partitions.connected(src, dst):
+            if tracer is not None:
+                tracer.on_drop(src, dst, message, "partitioned", token)
             return False
         delay = self.delivery.delay(self.sim.rng, src, dst, self.sim.now)
         if delay is DeliveryModel.DROP:
+            if tracer is not None:
+                tracer.on_drop(src, dst, message, "lost", token)
             return False
-        self.sim.schedule(delay, self._deliver, src, dst, message)
+        if tracer is None:
+            self.sim.schedule(delay, self._deliver, src, dst, message)
+        else:
+            self.sim.schedule(delay, self._deliver_traced, src, dst, message,
+                              token)
         return True
 
     def broadcast(self, src, message, include_self=False):
@@ -120,4 +137,12 @@ class Network:
         node = self._nodes.get(dst)
         if node is None or node.crashed:
             return
+        node.deliver(message, src)
+
+    def _deliver_traced(self, src, dst, message, token):
+        node = self._nodes.get(dst)
+        if node is None or node.crashed:
+            self.tracer.on_drop(src, dst, message, "crashed", token)
+            return
+        self.tracer.on_deliver(src, dst, message, token)
         node.deliver(message, src)

@@ -204,6 +204,7 @@ class BasicHotStuffReplica(Node):
     def _execute(self, msg):
         result = self.state_machine.apply(msg.operation)
         self.decided_ops.append(msg.operation)
+        self.trace_local("decide", view=self.view, op=msg.operation)
         if self.is_leader:
             _node_hash, _operation, client = self._current
             self.send(client, HsReply(msg.operation, result))
@@ -480,6 +481,8 @@ class ChainedHotStuffReplica(Node):
         for blk in reversed(chain):
             if blk.command != "genesis":
                 self.decided.append(blk.command)
+                self.trace_local("decide", view=blk.view,
+                                 command=blk.command)
 
 
 # -- drivers -----------------------------------------------------------------

@@ -19,7 +19,7 @@ takes over — the C&C leader-election + value-discovery phases made
 explicit.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.ballot import Ballot
 from ..core.node import Node

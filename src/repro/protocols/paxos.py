@@ -157,6 +157,7 @@ class PaxosAcceptor(Node):
             self.ballot_num = msg.ballot
             self.accept_num = msg.ballot
             self.accept_val = msg.value
+            self.trace_local("accept", ballot=msg.ballot)
             self.send(src, AcceptedMsg(msg.ballot, msg.value))
         elif self.send_nacks:
             self.send(src, Nack(self.ballot_num))
@@ -301,6 +302,8 @@ class PaxosProposer(Node):
         if self._retry_timer is not None:
             self._retry_timer.cancel()
         self.trace.enter(CCPhase.DECISION, self.sim.now)
+        self.trace_local("learn" if learned else "decide",
+                         ballot=self.ballot, value=value)
         if not learned:
             if self.network.metrics is not None:
                 self.network.metrics.mark_phase("paxos", "decide", self.sim.now)

@@ -382,6 +382,7 @@ class PbftReplica(Node):
                 return
             slot.executed = True
             self.last_executed = seq
+            self.trace_local("execute", seq=seq, view=self.view)
             request = slot.request
             if request is not None and request.client != "_null":
                 result = self.state_machine.apply(request.operation)

@@ -400,6 +400,8 @@ class RaftNode(Node):
         match = msg.prev_log_index + len(msg.entries)
         if msg.leader_commit > self.commit_index:
             self.commit_index = min(msg.leader_commit, self.last_log_index())
+            self.trace_local("commit", index=self.commit_index,
+                             term=self.current_term)
             self._apply_ready()
         self.send(src, AppendReply(self.current_term, True, match))
 
@@ -427,6 +429,8 @@ class RaftNode(Node):
             count = sum(1 for m in self.match_index.values() if m >= index)
             if count >= self.majority:
                 self.commit_index = index
+                self.trace_local("commit", index=index,
+                                 term=self.current_term)
                 self._apply_ready()
                 break
 

@@ -31,6 +31,9 @@ class Timer:
     def _fire(self):
         if self._cancelled or self._process.crashed:
             return
+        tracer = self._process.sim.tracer
+        if tracer is not None:
+            tracer.on_timer(self._process.name)
         if self._repeat:
             self._arm()
         self._callback(*self._args)

@@ -32,6 +32,9 @@ class Simulator:
     def __init__(self, seed=0):
         self.rng = random.Random(seed)
         self.seed = seed
+        #: Optional :class:`~repro.trace.Tracer`; processes consult it for
+        #: timer-fire events.  ``None`` keeps timers on the untraced path.
+        self.tracer = None
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False

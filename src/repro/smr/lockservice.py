@@ -13,7 +13,6 @@ replica computes identical expiry decisions from the identical log —
 never from its local clock.
 """
 
-from dataclasses import dataclass
 
 from ..core.cluster import Cluster
 from ..core.exceptions import LivenessFailure

@@ -1,0 +1,67 @@
+"""Causal tracing: record, query and render protocol message flows.
+
+The observability backbone of the library.  A :class:`Tracer` (opt-in,
+zero-cost when absent) hooks the simulator, network and metrics
+collector to record every send / deliver / drop / timer / phase-mark /
+milestone as a structured :class:`TraceEvent` with per-node Lamport
+clocks; the resulting :class:`Trace` supports filtering, exact
+happened-before queries, JSONL export and an ASCII space-time renderer
+that reproduces the paper's message-flow figures from live runs.
+"""
+
+from .clock import LamportClock, VectorClock
+from .events import (
+    DELIVER,
+    DROP,
+    KINDS,
+    LOCAL,
+    PHASE,
+    REQUEST,
+    SEND,
+    TIMER,
+    TraceEvent,
+    canonical_detail,
+)
+from .export import (
+    event_from_dict,
+    event_to_dict,
+    read_jsonl,
+    to_jsonl,
+    write_jsonl,
+)
+from .invariants import (
+    CausalInvariantError,
+    assert_quorum_before_decide,
+    assert_sends_precede_delivers,
+    quorum_causally_precedes,
+)
+from .render import render_flow
+from .trace import Trace
+from .tracer import Tracer
+
+__all__ = [
+    "DELIVER",
+    "DROP",
+    "KINDS",
+    "LOCAL",
+    "PHASE",
+    "REQUEST",
+    "SEND",
+    "TIMER",
+    "CausalInvariantError",
+    "LamportClock",
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "VectorClock",
+    "assert_quorum_before_decide",
+    "assert_sends_precede_delivers",
+    "canonical_detail",
+    "event_from_dict",
+    "event_to_dict",
+    "quorum_causally_precedes",
+    "read_jsonl",
+    "render_flow",
+    "to_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,105 @@
+"""Logical clocks for causal ordering of trace events.
+
+Two classics, both straight from the literature the paper builds on:
+
+* :class:`LamportClock` — Lamport's scalar clock.  Consistent with
+  causality (``a -> b`` implies ``L(a) < L(b)``) but not complete:
+  ``L(a) < L(b)`` does *not* imply ``a -> b``.  The tracer stamps every
+  event with one; it is cheap and enough for ordering heuristics.
+* :class:`VectorClock` — one counter per node.  Complete: comparing two
+  vectors decides *happened-before* vs *concurrent* exactly, which is
+  what :meth:`repro.trace.Trace.happens_before` uses.
+"""
+
+
+class LamportClock:
+    """Lamport's scalar logical clock for one node.
+
+    Rules (from "Time, Clocks, and the Ordering of Events"):
+    tick before every local event and every send; on receive, jump past
+    the sender's timestamp.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=0):
+        self.value = value
+
+    def tick(self):
+        """Advance for a local or send event; returns the new timestamp."""
+        self.value += 1
+        return self.value
+
+    def observe(self, remote_value):
+        """Receive rule: ``max(local, remote) + 1``; returns the new
+        timestamp."""
+        self.value = max(self.value, remote_value) + 1
+        return self.value
+
+    def __repr__(self):
+        return "LamportClock(%d)" % self.value
+
+
+class VectorClock:
+    """An immutable vector clock: a mapping ``node -> count``.
+
+    All mutating operations return a new clock, so clocks captured at
+    event time stay valid as the computation advances (the trace layer
+    stores one per event).
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts=None):
+        self._counts = dict(counts) if counts else {}
+
+    def tick(self, node):
+        """The clock after ``node`` performs one local/send event."""
+        counts = dict(self._counts)
+        counts[node] = counts.get(node, 0) + 1
+        return VectorClock(counts)
+
+    def merge(self, other):
+        """Component-wise maximum — the receive rule (before the tick)."""
+        counts = dict(self._counts)
+        for node, count in other._counts.items():
+            if count > counts.get(node, 0):
+                counts[node] = count
+        return VectorClock(counts)
+
+    def __getitem__(self, node):
+        return self._counts.get(node, 0)
+
+    def __eq__(self, other):
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        # Missing entries are zero, so strip explicit zeros for comparison.
+        return self._nonzero() == other._nonzero()
+
+    def __hash__(self):
+        return hash(frozenset(self._nonzero().items()))
+
+    def _nonzero(self):
+        return {n: c for n, c in self._counts.items() if c}
+
+    def __le__(self, other):
+        """Dominance: every component ``<=`` the other's."""
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return all(c <= other[n] for n, c in self._counts.items())
+
+    def happens_before(self, other):
+        """True iff this clock's event causally precedes ``other``'s."""
+        return self <= other and self != other
+
+    def concurrent_with(self, other):
+        """True iff neither event causally precedes the other."""
+        return not self.happens_before(other) \
+            and not other.happens_before(self) \
+            and self != other
+
+    def __repr__(self):
+        inner = ", ".join(
+            "%s:%d" % (n, c) for n, c in sorted(self._nonzero().items())
+        )
+        return "VectorClock({%s})" % inner

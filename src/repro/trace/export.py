@@ -1,0 +1,73 @@
+"""JSONL export/import for traces.
+
+The export format is deliberately boring: one JSON object per line, keys
+sorted, compact separators, ``\\n`` line endings.  Because every field of
+a :class:`~repro.trace.events.TraceEvent` is a string, int or float
+produced deterministically from the simulation, two same-seed runs
+serialise to *byte-identical* output — which is what the determinism
+tests assert, and what makes traces diffable artifacts.
+"""
+
+import json
+
+from .events import TraceEvent
+from .trace import Trace
+
+
+def event_to_dict(event):
+    """Plain-dict form of one event (detail becomes a list of pairs)."""
+    return {
+        "seq": event.seq,
+        "time": event.time,
+        "kind": event.kind,
+        "node": event.node,
+        "lamport": event.lamport,
+        "peer": event.peer,
+        "mtype": event.mtype,
+        "msg_id": event.msg_id,
+        "detail": [list(pair) for pair in event.detail],
+    }
+
+
+def event_from_dict(data):
+    """Inverse of :func:`event_to_dict`."""
+    return TraceEvent(
+        seq=data["seq"],
+        time=data["time"],
+        kind=data["kind"],
+        node=data["node"],
+        lamport=data["lamport"],
+        peer=data["peer"],
+        mtype=data["mtype"],
+        msg_id=data["msg_id"],
+        detail=tuple(tuple(pair) for pair in data["detail"]),
+    )
+
+
+def to_jsonl(trace):
+    """Serialise a trace to a JSONL string (trailing newline included)."""
+    lines = [
+        json.dumps(event_to_dict(event), sort_keys=True,
+                   separators=(",", ":"))
+        for event in trace
+    ]
+    return "".join(line + "\n" for line in lines)
+
+
+def write_jsonl(trace, path):
+    """Write the trace to ``path``; returns the event count."""
+    payload = to_jsonl(trace)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(payload)
+    return len(trace)
+
+
+def read_jsonl(path_or_lines):
+    """Load a trace from a JSONL file path or an iterable of lines."""
+    if isinstance(path_or_lines, str):
+        with open(path_or_lines, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(path_or_lines)
+    events = [event_from_dict(json.loads(line)) for line in lines if line.strip()]
+    return Trace(events)

@@ -1,0 +1,95 @@
+"""Trace-based causal invariant assertions.
+
+These turn the paper's safety arguments into executable checks over a
+recorded trace: *a node may only declare a milestone (decide, commit,
+execute) after a quorum of the matching acknowledgements causally
+precedes it*.  Message counting can't express that — a run with the
+right totals but the wrong causal shape (a decide racing ahead of its
+accept quorum) passes a counter and fails here.
+"""
+
+from .events import DELIVER, LOCAL, SEND
+
+
+class CausalInvariantError(AssertionError):
+    """A trace violated a causal invariant (or never exercised it)."""
+
+
+def quorum_causally_precedes(trace, event, ack_mtype, quorum,
+                             link_keys=()):
+    """True iff >= ``quorum`` distinct peers' ``ack_mtype`` deliveries at
+    ``event.node`` happened-before ``event``.
+
+    ``link_keys`` names ``detail`` keys that must agree between ``event``
+    and each counted delivery (e.g. ``("ballot",)`` so only acks for the
+    deciding ballot count).
+    """
+    wanted = {key: event.get(key) for key in link_keys}
+    senders = set()
+    for candidate in trace:
+        if candidate.kind != DELIVER or candidate.mtype != ack_mtype:
+            continue
+        if candidate.node != event.node:
+            continue
+        if any(candidate.get(k) != v for k, v in wanted.items()):
+            continue
+        if trace.happens_before(candidate, event):
+            senders.add(candidate.peer)
+    return len(senders) >= quorum
+
+
+def assert_quorum_before_decide(trace, decide_label, ack_mtype, quorum,
+                                link_keys=(), node=None):
+    """Assert every ``decide_label`` milestone has a causally preceding
+    quorum of ``ack_mtype`` deliveries; returns how many were checked.
+
+    Raises :class:`CausalInvariantError` if the trace contains no such
+    milestone (the invariant was never exercised) or any milestone lacks
+    its quorum.
+    """
+    decides = [
+        e for e in trace
+        if e.kind == LOCAL and e.mtype == decide_label
+        and (node is None or e.node == node)
+    ]
+    if not decides:
+        raise CausalInvariantError(
+            "no %r milestone in trace — invariant never exercised"
+            % (decide_label,)
+        )
+    for event in decides:
+        if not quorum_causally_precedes(trace, event, ack_mtype, quorum,
+                                        link_keys):
+            raise CausalInvariantError(
+                "%s on %s at t=%.3f lacks a causally preceding quorum "
+                "of %d %r deliveries" % (decide_label, event.node,
+                                         event.time, quorum, ack_mtype)
+            )
+    return len(decides)
+
+
+def assert_sends_precede_delivers(trace):
+    """Sanity invariant: every deliver's send happened-before it, and
+    Lamport timestamps respect the edge.  Returns the delivery count."""
+    sends = {e.msg_id: e for e in trace if e.kind == SEND}
+    checked = 0
+    for event in trace:
+        if event.kind != DELIVER:
+            continue
+        send = sends.get(event.msg_id)
+        if send is None:
+            raise CausalInvariantError(
+                "deliver without a recorded send: %r" % (event,)
+            )
+        if not trace.happens_before(send, event):
+            raise CausalInvariantError(
+                "send does not happen-before its deliver: %r / %r"
+                % (send, event)
+            )
+        if send.lamport >= event.lamport:
+            raise CausalInvariantError(
+                "Lamport clock not advanced across edge: %r / %r"
+                % (send, event)
+            )
+        checked += 1
+    return checked

@@ -1,0 +1,167 @@
+"""The :class:`Trace` container: an ordered event list with causal queries.
+
+A trace is append-only during a run; afterwards it supports filtering
+(by node, kind, message type, time window), exact *happened-before*
+checks via lazily computed vector clocks, and per-request span
+extraction.  Filtering returns a new :class:`Trace` over the selected
+events; causal queries should be asked of the full trace, since a
+filtered view may be missing the send half of a deliver edge.
+"""
+
+from .clock import VectorClock
+from .events import DELIVER, LOCAL, REQUEST, SEND
+
+
+class Trace:
+    """An ordered collection of :class:`~repro.trace.events.TraceEvent`."""
+
+    def __init__(self, events=None):
+        self.events = list(events) if events else []
+        self._vc = None
+
+    # -- collection protocol ----------------------------------------------
+
+    def append(self, event):
+        self.events.append(event)
+        self._vc = None
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __getitem__(self, index):
+        return self.events[index]
+
+    # -- filtering ---------------------------------------------------------
+
+    def filter(self, kind=None, node=None, peer=None, mtype=None,
+               t0=None, t1=None):
+        """Events matching every given criterion, as a new :class:`Trace`.
+
+        ``kind``/``node``/``peer``/``mtype`` accept a single value or a
+        set/tuple of values; ``t0``/``t1`` bound the (inclusive) virtual
+        time window.
+        """
+        def wants(criterion, value):
+            if criterion is None:
+                return True
+            if isinstance(criterion, (set, frozenset, tuple, list)):
+                return value in criterion
+            return value == criterion
+
+        selected = [
+            e for e in self.events
+            if wants(kind, e.kind) and wants(node, e.node)
+            and wants(peer, e.peer) and wants(mtype, e.mtype)
+            and (t0 is None or e.time >= t0)
+            and (t1 is None or e.time <= t1)
+        ]
+        return Trace(selected)
+
+    def sends(self, mtype=None):
+        return self.filter(kind=SEND, mtype=mtype)
+
+    def delivers(self, mtype=None):
+        return self.filter(kind=DELIVER, mtype=mtype)
+
+    def locals(self, label=None):
+        return self.filter(kind=LOCAL, mtype=label)
+
+    def nodes(self):
+        """Node names in first-appearance order."""
+        seen = []
+        for event in self.events:
+            if event.node and event.node not in seen:
+                seen.append(event.node)
+        return seen
+
+    def mtypes(self):
+        """Message types seen on sends, in first-appearance order."""
+        seen = []
+        for event in self.events:
+            if event.kind == SEND and event.mtype not in seen:
+                seen.append(event.mtype)
+        return seen
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, label):
+        """Events recorded between the start and end of request ``label``.
+
+        Request boundaries come from
+        :meth:`~repro.metrics.MetricsCollector.start_request` /
+        ``finish_request``; the span is everything recorded in between
+        (the trace is totally ordered by ``seq``).  An open request spans
+        to the end of the trace.
+        """
+        start = end = None
+        for event in self.events:
+            if event.kind != REQUEST or event.mtype != label:
+                continue
+            if event.get("edge") == "start" and start is None:
+                start = event.seq
+            elif event.get("edge") == "end":
+                end = event.seq
+        if start is None:
+            return Trace()
+        return Trace([
+            e for e in self.events
+            if start <= e.seq and (end is None or e.seq <= end)
+        ])
+
+    # -- causality ---------------------------------------------------------
+
+    def _vector_clocks(self):
+        """seq -> :class:`VectorClock` (``None`` for node-less events)."""
+        if self._vc is not None:
+            return self._vc
+        clocks = {}
+        node_state = {}
+        send_state = {}
+        for event in self.events:
+            if not event.node:
+                clocks[event.seq] = None
+                continue
+            current = node_state.get(event.node, VectorClock())
+            if event.kind == DELIVER and event.msg_id in send_state:
+                current = current.merge(send_state[event.msg_id])
+            current = current.tick(event.node)
+            node_state[event.node] = current
+            clocks[event.seq] = current
+            if event.kind == SEND:
+                send_state[event.msg_id] = current
+        self._vc = clocks
+        return clocks
+
+    def happens_before(self, a, b):
+        """Exact happened-before: ``a -> b`` in Lamport's relation.
+
+        Edges are per-node program order plus send->deliver pairs.
+        Node-less events (phase marks, request boundaries) take no part
+        in the relation and always return ``False``.
+        """
+        clocks = self._vector_clocks()
+        va = clocks.get(a.seq)
+        vb = clocks.get(b.seq)
+        if va is None or vb is None or a.seq == b.seq:
+            return False
+        return va.happens_before(vb)
+
+    def concurrent(self, a, b):
+        """True iff neither event causally precedes the other."""
+        clocks = self._vector_clocks()
+        va = clocks.get(a.seq)
+        vb = clocks.get(b.seq)
+        if va is None or vb is None or a.seq == b.seq:
+            return False
+        return va.concurrent_with(vb)
+
+    def causal_past(self, event):
+        """All events that happened-before ``event``, as a new trace."""
+        return Trace([e for e in self.events if self.happens_before(e, event)])
+
+    def __repr__(self):
+        return "Trace(%d events, %d nodes)" % (len(self.events),
+                                               len(self.nodes()))

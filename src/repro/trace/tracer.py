@@ -1,0 +1,135 @@
+"""The :class:`Tracer`: the recording half of the trace subsystem.
+
+A tracer is attached (opt-in) by :class:`~repro.core.cluster.Cluster`;
+the network, the timer wheel and the metrics collector each hold a
+reference and call the ``on_*`` hooks below.  Every hook site guards
+with ``if tracer is not None`` so a tracer-less run pays exactly one
+attribute load and comparison per site — the zero-overhead-when-disabled
+contract.
+
+The tracer maintains one Lamport clock per node (tick on send / timer /
+local event, receive-rule merge on deliver) and assigns each unicast a
+dense ``msg_id`` so the matching deliver (or drop) can be linked back to
+its send.  Nothing here touches the simulator's RNG or schedules events,
+so enabling tracing cannot perturb a run.
+"""
+
+from .events import (
+    DELIVER,
+    DROP,
+    LOCAL,
+    PHASE,
+    REQUEST,
+    SEND,
+    TIMER,
+    TraceEvent,
+    canonical_detail,
+)
+from .trace import Trace
+
+#: Message attributes lifted into event ``detail`` when present — the
+#: protocol-identifying fields (ballot, view, seq, ...) that causal
+#: invariants match on.  Values are stringified, so anything with a
+#: deterministic ``str`` works (e.g. :class:`~repro.core.ballot.Ballot`).
+DETAIL_ATTRS = ("ballot", "view", "seq", "round", "height", "term", "index")
+
+
+class Tracer:
+    """Records a :class:`~repro.trace.Trace` from a live simulation.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`~repro.sim.Simulator` supplying virtual time.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.trace = Trace()
+        self._clocks = {}
+        self._next_msg_id = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _tick(self, node):
+        value = self._clocks.get(node, 0) + 1
+        self._clocks[node] = value
+        return value
+
+    def _emit(self, kind, node, lamport, peer="", mtype="", msg_id=-1,
+              detail=()):
+        event = TraceEvent(
+            seq=len(self.trace.events),
+            time=self.sim.now,
+            kind=kind,
+            node=node,
+            lamport=lamport,
+            peer=peer,
+            mtype=mtype,
+            msg_id=msg_id,
+            detail=detail,
+        )
+        self.trace.append(event)
+        return event
+
+    @staticmethod
+    def _message_detail(message):
+        pairs = []
+        for attr in DETAIL_ATTRS:
+            value = getattr(message, attr, None)
+            if value is not None:
+                pairs.append((attr, str(value)))
+        return tuple(pairs)
+
+    # -- hooks called by the transport --------------------------------------
+
+    def on_send(self, src, dst, message):
+        """Record a unicast attempt; returns the token the transport
+        threads through to delivery."""
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        lamport = self._tick(src)
+        self._emit(SEND, src, lamport, peer=dst, mtype=message.mtype,
+                   msg_id=msg_id, detail=self._message_detail(message))
+        return (msg_id, lamport)
+
+    def on_deliver(self, src, dst, message, token):
+        """Record arrival at a live node (receive rule on dst's clock)."""
+        msg_id, sent_lamport = token
+        value = max(self._clocks.get(dst, 0), sent_lamport) + 1
+        self._clocks[dst] = value
+        self._emit(DELIVER, dst, value, peer=src, mtype=message.mtype,
+                   msg_id=msg_id, detail=self._message_detail(message))
+
+    def on_drop(self, src, dst, message, reason, token=None):
+        """Record a lost message: intercepted, partitioned, dropped by the
+        delivery model, or delivered to a crashed/unknown node."""
+        msg_id = token[0] if token is not None else -1
+        lamport = self._tick(src)
+        self._emit(DROP, src, lamport, peer=dst, mtype=message.mtype,
+                   msg_id=msg_id, detail=(("reason", reason),))
+
+    # -- hooks called by processes and the metrics collector -----------------
+
+    def on_timer(self, node):
+        """Record a timer firing on ``node``."""
+        self._emit(TIMER, node, self._tick(node), mtype="timer")
+
+    def on_phase(self, protocol, phase):
+        """Record a protocol-wide phase boundary (mirrors ``mark_phase``)."""
+        self._emit(PHASE, "", 0, mtype=phase,
+                   detail=(("protocol", str(protocol)),))
+
+    def on_local(self, node, label, detail=None):
+        """Record a protocol-declared milestone (decide, commit, execute)."""
+        self._emit(LOCAL, node, self._tick(node), mtype=label,
+                   detail=canonical_detail(detail or {}))
+
+    def on_request(self, label, edge):
+        """Record a request-span boundary; ``edge`` is start or end."""
+        self._emit(REQUEST, "", 0, mtype=label,
+                   detail=(("edge", str(edge)),))
+
+    def __repr__(self):
+        return "Tracer(%d events, %d nodes)" % (len(self.trace),
+                                                len(self._clocks))

@@ -14,9 +14,9 @@ def cluster():
 
 @pytest.fixture
 def make_cluster():
-    """Factory: ``make_cluster(seed=…, delivery=…)``."""
-    def factory(seed=0, delivery=None):
-        return Cluster(seed=seed, delivery=delivery)
+    """Factory: ``make_cluster(seed=…, delivery=…, trace=…)``."""
+    def factory(seed=0, delivery=None, trace=False):
+        return Cluster(seed=seed, delivery=delivery, trace=trace)
     return factory
 
 

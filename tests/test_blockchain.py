@@ -22,7 +22,6 @@ from repro.blockchain import (
     validate_pow,
     verify_transaction,
 )
-from repro.core import Cluster
 from repro.crypto import HASH_SPACE, KeyRegistry
 from repro.net import UniformDelayModel
 

@@ -2,7 +2,6 @@
 effect on live protocols (idempotency under duplication, liveness under
 selective silence within the fault budget)."""
 
-from repro.core import Cluster
 from repro.faults import Delayer, Duplicator, SelectiveSilence, Silence
 from repro.protocols.minbft import run_minbft
 from repro.protocols.pbft import run_pbft

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import Cluster
 from repro.core.exceptions import ConfigurationError
 from repro.net import AsynchronousModel
 from repro.protocols.chandra_toueg import (

@@ -13,7 +13,7 @@ import pytest
 from repro.core import Cluster
 from repro.faults import FaultPlan
 from repro.net import UniformDelayModel
-from repro.smr import ReplicatedKV, check_log_consistency
+from repro.smr import ReplicatedKV
 
 
 class TestMultiPaxosChaos:
@@ -126,7 +126,6 @@ class TestPbftChaos:
 
 class TestBlockchainChaos:
     def test_partitioned_miners_reorg_on_heal(self):
-        from repro.blockchain import run_mining_network
         from repro.blockchain.miner import Miner
         from repro.crypto import HASH_SPACE
         cluster = Cluster(seed=31, delivery=UniformDelayModel(0.5, 2.0))

@@ -41,3 +41,60 @@ class TestCli:
         main(["run", "paxos", "--seed", "7"])
         second = capsys.readouterr().out
         assert first == second
+
+    def test_table_works_from_any_cwd(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "paxos" in out and "pbft" in out
+
+    def test_run_help_mentions_trace(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "trace" in out
+
+
+class TestTraceCli:
+    def test_trace_paxos_renders_message_flow(self, capsys):
+        assert main(["trace", "paxos", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        # The paper's figure, reconstructed from the run: all three
+        # phases, arrows between columns, and 2f+1 acceptor columns.
+        assert "phase: prepare" in out
+        assert "phase: accept" in out
+        assert "phase: decide" in out
+        assert "o---" in out
+        assert "a0" in out and "a4" in out
+        assert "trace:" in out
+
+    def test_trace_unknown_protocol(self, capsys):
+        assert main(["trace", "smoke-signals"]) == 1
+        assert "unknown" in capsys.readouterr().out
+
+    def test_trace_jsonl_export(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "paxos.jsonl"
+        assert main(["trace", "paxos", "--jsonl", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert len(lines) > 0
+        first = json.loads(lines[0])
+        assert {"seq", "time", "kind", "node", "lamport"} <= set(first)
+
+    def test_trace_same_seed_byte_identical_jsonl(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            assert main(["trace", "paxos", "--seed", "0",
+                         "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_trace_limit_caps_rows(self, capsys):
+        assert main(["trace", "paxos", "--limit", "5"]) == 0
+        assert "more events not shown" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("protocol", ["pbft", "raft", "hotstuff"])
+    def test_trace_other_protocols(self, protocol, capsys):
+        assert main(["trace", protocol, "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "o---" in out

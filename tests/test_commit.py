@@ -1,7 +1,7 @@
 """Tests for 2PC and 3PC: atomicity, vetoes, the blocking window, and
 the termination protocol."""
 
-from repro.core import CCPhase, Cluster
+from repro.core import CCPhase
 from repro.protocols.commit import TxState, run_commit
 
 

@@ -1,6 +1,5 @@
 """Tests for distributed transactions: 2PL + 2PC over Paxos groups."""
 
-import pytest
 
 from repro.dtxn import DistributedKV, Transaction, TxnKVStateMachine
 

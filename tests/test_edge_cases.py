@@ -1,8 +1,6 @@
 """Targeted edge-case tests for paths the scenario tests pass over."""
 
-import pytest
 
-from repro.core import Cluster
 
 
 class TestFastPaxosRecoveryRule:

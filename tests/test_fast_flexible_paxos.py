@@ -3,7 +3,6 @@
 
 import pytest
 
-from repro.core import Cluster
 from repro.net import SynchronousModel, UniformDelayModel
 from repro.protocols.fast_paxos import FastPaxosLeader, run_fast_paxos
 from repro.protocols.flexible_paxos import (

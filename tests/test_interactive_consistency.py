@@ -3,7 +3,6 @@ the 3f+1 lower bound, including the paper's worked N=4 and N=3 cases."""
 
 import pytest
 
-from repro.core import Cluster
 from repro.net import SynchronousModel
 from repro.protocols.interactive_consistency import (
     UNKNOWN,

@@ -3,7 +3,6 @@ consensus ↔ atomic-broadcast reductions."""
 
 import dataclasses
 
-import pytest
 
 from repro.blockchain import (
     Blockchain,

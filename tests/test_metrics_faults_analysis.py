@@ -10,7 +10,6 @@ from repro.analysis import (
     comparison_table,
     render_table,
 )
-from repro.core import Cluster
 from repro.faults import FaultPlan
 from repro.metrics import MetricsCollector, classify_order, fit_order
 from repro.net import Message

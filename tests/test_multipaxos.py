@@ -1,7 +1,6 @@
 """Tests for Multi-Paxos: the replicated log, the phase-1 amortisation,
 leader failover, and client semantics."""
 
-from repro.core import Cluster
 from repro.protocols.multipaxos import run_multipaxos
 from repro.smr import KVStateMachine, check_log_consistency
 

@@ -5,7 +5,7 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.core import Cluster, Node
+from repro.core import Node
 from repro.net import (
     AsynchronousModel,
     DeliveryModel,

@@ -3,7 +3,7 @@ the livelock figure, and quorum-safety foundations."""
 
 import pytest
 
-from repro.core import Cluster, CCPhase, MajorityQuorum
+from repro.core import CCPhase, MajorityQuorum
 from repro.net import SynchronousModel
 from repro.protocols.paxos import (
     FixedBackoff,
@@ -11,13 +11,21 @@ from repro.protocols.paxos import (
     chosen_value,
     run_basic_paxos,
 )
+from repro.trace import assert_quorum_before_decide
 
 
 class TestBasicAgreement:
-    def test_single_proposer_decides_own_value(self, cluster):
+    def test_single_proposer_decides_own_value(self, make_cluster):
+        cluster = make_cluster(trace=True)
         result = run_basic_paxos(cluster, n_acceptors=5, proposals=("X",))
         assert result.value == "X"
         assert result.rounds == 1
+        # Causal invariant, checked on the recorded trace: the proposer's
+        # decide must be causally preceded by accepted-acks from a
+        # majority quorum (3 of 5) for the deciding ballot — counting
+        # messages can't catch a decide that races ahead of its quorum.
+        assert_quorum_before_decide(cluster.trace, "decide", "acceptedmsg",
+                                    quorum=3, link_keys=("ballot",))
 
     def test_three_acceptors_minimum_cluster(self, cluster):
         result = run_basic_paxos(cluster, n_acceptors=3, proposals=("V",))

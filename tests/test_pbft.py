@@ -3,7 +3,6 @@ primaries, view change, and garbage collection."""
 
 import pytest
 
-from repro.core import Cluster
 from repro.core.exceptions import ConfigurationError
 from repro.protocols.pbft import (
     EquivocatingPrimary,
@@ -11,6 +10,7 @@ from repro.protocols.pbft import (
     SilentPrimary,
     run_pbft,
 )
+from repro.trace import assert_quorum_before_decide
 
 
 class TestConfiguration:
@@ -26,10 +26,16 @@ class TestConfiguration:
 
 
 class TestNormalCase:
-    def test_clients_complete_logs_consistent(self, cluster):
+    def test_clients_complete_logs_consistent(self, make_cluster):
+        cluster = make_cluster(trace=True)
         result = run_pbft(cluster, f=1, n_clients=2, operations_per_client=4)
         assert all(c.done for c in result.clients)
         assert result.logs_consistent()
+        # Causal invariant: every execute milestone must be causally
+        # preceded by commit messages for that sequence number from 2f
+        # distinct peers (the replica's own commit never hits the wire).
+        assert_quorum_before_decide(cluster.trace, "execute", "pbftcommit",
+                                    quorum=2, link_keys=("seq",))
 
     def test_three_phase_message_types_present(self, cluster):
         run_pbft(cluster, f=1, n_clients=1, operations_per_client=2)

@@ -2,14 +2,13 @@
 quorum intersection, ballot ordering, canonical hashing, Merkle proofs,
 ledger conservation, the OM bound, and Paxos safety under random faults."""
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.blockchain import Ledger, Transaction, make_coinbase
 from repro.core import Ballot, ByzantineQuorum, FlexibleQuorum, HybridQuorum, MajorityQuorum
-from repro.crypto import MerkleTree, canonical_bytes, sha256_hex
+from repro.crypto import MerkleTree, canonical_bytes
 from repro.protocols.interactive_consistency import majority, om_satisfies_ic
 
 # -- ballots -----------------------------------------------------------------

@@ -1,8 +1,6 @@
 """Detail tests for protocol mechanisms not covered by scenario runs."""
 
-import pytest
 
-from repro.core import Cluster
 
 
 class TestZyzzyvaHistoryChain:

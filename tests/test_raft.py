@@ -1,6 +1,5 @@
 """Tests for Raft: elections, log replication/repair, commit rules."""
 
-from repro.core import Cluster
 from repro.protocols.raft import LogEntry, RaftNode, Role, run_raft
 
 

@@ -1,0 +1,232 @@
+"""Tests for the causal tracing subsystem: recording, queries,
+determinism of the JSONL export, rendering and causal invariants."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import Cluster
+from repro.net.message import Message
+from repro.protocols.paxos import run_basic_paxos
+from repro.protocols.pbft import run_pbft
+from repro.trace import (
+    DELIVER,
+    LOCAL,
+    PHASE,
+    SEND,
+    TIMER,
+    CausalInvariantError,
+    Trace,
+    TraceEvent,
+    assert_quorum_before_decide,
+    assert_sends_precede_delivers,
+    read_jsonl,
+    render_flow,
+    to_jsonl,
+    write_jsonl,
+)
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    seq: int = 0
+
+
+def traced_paxos(seed=0):
+    cluster = Cluster(seed=seed, trace=True)
+    result = run_basic_paxos(cluster, n_acceptors=5, proposals=("X", "Y"),
+                             stagger=1.0)
+    return cluster, result
+
+
+def traced_pbft(seed=0):
+    cluster = Cluster(seed=seed, trace=True)
+    run_pbft(cluster, f=1, n_clients=1, operations_per_client=2)
+    return cluster
+
+
+class TestRecording:
+    def test_all_layer_kinds_recorded(self):
+        cluster, _ = traced_paxos()
+        kinds = {e.kind for e in cluster.trace}
+        assert {SEND, DELIVER, TIMER, PHASE, LOCAL} <= kinds
+
+    def test_disabled_by_default(self, cluster):
+        run_basic_paxos(cluster, proposals=("X",))
+        assert cluster.tracer is None
+        assert cluster.trace is None
+        assert cluster.network.tracer is None
+        assert cluster.sim.tracer is None
+
+    def test_tracing_does_not_perturb_the_run(self):
+        plain = Cluster(seed=4)
+        untr = run_basic_paxos(plain, proposals=("X", "Y"), stagger=1.0)
+        traced = Cluster(seed=4, trace=True)
+        tr = run_basic_paxos(traced, proposals=("X", "Y"), stagger=1.0)
+        assert untr.value == tr.value
+        assert plain.metrics.messages_total == traced.metrics.messages_total
+        assert plain.now == traced.now
+
+    def test_seq_dense_and_time_monotone(self):
+        cluster, _ = traced_paxos()
+        events = cluster.trace.events
+        assert [e.seq for e in events] == list(range(len(events)))
+        assert all(a.time <= b.time for a, b in zip(events, events[1:]))
+
+    def test_every_deliver_links_to_a_send(self):
+        cluster, _ = traced_paxos()
+        assert assert_sends_precede_delivers(cluster.trace) > 0
+
+    def test_phase_marks_mirrored_from_metrics(self):
+        cluster, _ = traced_paxos()
+        phases = [e.mtype for e in cluster.trace.filter(kind=PHASE)]
+        assert {"prepare", "accept", "decide"} <= set(phases)
+
+    def test_drops_recorded_with_reason(self, make_cluster):
+        from repro.net import UniformDelayModel
+        cluster = make_cluster(delivery=UniformDelayModel(drop_rate=0.4),
+                               trace=True)
+        run_basic_paxos(cluster, proposals=("X",), horizon=100.0)
+        drops = cluster.trace.filter(kind="drop")
+        assert len(drops) > 0
+        assert all(e.get("reason") == "lost" for e in drops)
+
+
+class TestQueries:
+    def test_filter_by_node_kind_and_window(self):
+        cluster, _ = traced_paxos()
+        trace = cluster.trace
+        p1_sends = trace.filter(kind=SEND, node="p1")
+        assert len(p1_sends) > 0
+        assert all(e.kind == SEND and e.node == "p1" for e in p1_sends)
+        window = trace.filter(t0=1.0, t1=2.0)
+        assert all(1.0 <= e.time <= 2.0 for e in window)
+        by_mtype = trace.sends("prepare")
+        assert all(e.mtype == "prepare" for e in by_mtype)
+
+    def test_send_happens_before_its_deliver(self):
+        cluster, _ = traced_paxos()
+        trace = cluster.trace
+        deliver = trace.delivers()[0]
+        send = next(e for e in trace if e.kind == SEND
+                    and e.msg_id == deliver.msg_id)
+        assert trace.happens_before(send, deliver)
+        assert not trace.happens_before(deliver, send)
+        assert not trace.concurrent(send, deliver)
+
+    def test_independent_proposers_start_concurrently(self):
+        cluster, _ = traced_paxos()
+        trace = cluster.trace
+        first_p1 = trace.filter(kind=SEND, node="p1")[0]
+        first_p2 = trace.filter(kind=SEND, node="p2")[0]
+        # p2's first prepare leaves before any message from p1 reaches
+        # p2, so the two sends are causally unordered.
+        assert trace.concurrent(first_p1, first_p2)
+
+    def test_causal_past_is_closed_under_happens_before(self):
+        cluster, _ = traced_paxos()
+        trace = cluster.trace
+        decide = trace.locals("decide")[0]
+        past = trace.causal_past(decide)
+        assert len(past) > 0
+        assert all(trace.happens_before(e, decide) for e in past)
+
+    def test_request_span_extraction(self):
+        cluster = Cluster(seed=0, trace=True)
+        cluster.metrics.start_request("op-1", cluster.now)
+        cluster.tracer.on_send("a", "b", Ping(seq=1))
+        cluster.metrics.finish_request("op-1", cluster.now)
+        cluster.tracer.on_send("a", "b", Ping(seq=2))
+        span = cluster.trace.span("op-1")
+        assert [e.kind for e in span] == ["request", SEND, "request"]
+        assert span[1].get("seq") == "1"
+
+
+class TestDeterminism:
+    def test_paxos_same_seed_byte_identical(self):
+        first = to_jsonl(traced_paxos(seed=0)[0].trace)
+        second = to_jsonl(traced_paxos(seed=0)[0].trace)
+        assert first == second
+
+    def test_pbft_same_seed_byte_identical(self):
+        assert to_jsonl(traced_pbft(seed=3).trace) == \
+            to_jsonl(traced_pbft(seed=3).trace)
+
+    def test_different_seed_different_trace(self):
+        assert to_jsonl(traced_paxos(seed=0)[0].trace) != \
+            to_jsonl(traced_paxos(seed=1)[0].trace)
+        assert to_jsonl(traced_pbft(seed=3).trace) != \
+            to_jsonl(traced_pbft(seed=4).trace)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        cluster, _ = traced_paxos()
+        path = str(tmp_path / "paxos.jsonl")
+        count = write_jsonl(cluster.trace, path)
+        assert count == len(cluster.trace)
+        loaded = read_jsonl(path)
+        assert loaded.events == cluster.trace.events
+
+
+class TestRenderer:
+    def test_paxos_flow_shows_the_papers_phases(self):
+        cluster, _ = traced_paxos()
+        art = render_flow(cluster.trace, nodes=cluster.network.node_names)
+        assert "phase: prepare" in art
+        assert "phase: accept" in art
+        assert "phase: decide" in art
+        assert "o---" in art  # message arrows
+        for name in ("a0", "a4", "p1"):
+            assert name in art
+
+    def test_max_rows_caps_output(self):
+        cluster, _ = traced_paxos()
+        art = render_flow(cluster.trace, max_rows=5)
+        assert "more events not shown" in art
+
+    def test_milestones_rendered_as_stars(self):
+        cluster, _ = traced_paxos()
+        art = render_flow(cluster.trace, nodes=cluster.network.node_names)
+        assert "decide" in art
+        assert "*" in art
+
+
+class TestInvariants:
+    def test_paxos_quorum_before_decide(self):
+        cluster, _ = traced_paxos()
+        checked = assert_quorum_before_decide(
+            cluster.trace, "decide", "acceptedmsg",
+            quorum=3, link_keys=("ballot",))
+        assert checked >= 1
+
+    def test_pbft_commit_quorum_before_execute(self):
+        cluster = traced_pbft()
+        checked = assert_quorum_before_decide(
+            cluster.trace, "execute", "pbftcommit",
+            quorum=2, link_keys=("seq",))
+        assert checked >= 1
+
+    def test_missing_milestone_raises(self):
+        with pytest.raises(CausalInvariantError):
+            assert_quorum_before_decide(Trace(), "decide", "ack", quorum=1)
+
+    def test_decide_without_quorum_raises(self):
+        lone_decide = TraceEvent(seq=0, time=0.0, kind=LOCAL, node="n0",
+                                 lamport=1, mtype="decide")
+        with pytest.raises(CausalInvariantError):
+            assert_quorum_before_decide(Trace([lone_decide]), "decide",
+                                        "ack", quorum=1)
+
+    def test_acks_after_decide_do_not_count(self):
+        # A decide followed (not preceded) by the ack delivery: the ack
+        # is causally *after* the milestone, so the invariant must fail.
+        events = [
+            TraceEvent(seq=0, time=0.0, kind=SEND, node="a0", lamport=1,
+                       peer="n0", mtype="ack", msg_id=0),
+            TraceEvent(seq=1, time=0.1, kind=LOCAL, node="n0", lamport=1,
+                       mtype="decide"),
+            TraceEvent(seq=2, time=0.2, kind=DELIVER, node="n0", lamport=3,
+                       peer="a0", mtype="ack", msg_id=0),
+        ]
+        with pytest.raises(CausalInvariantError):
+            assert_quorum_before_decide(Trace(events), "decide", "ack",
+                                        quorum=1)

@@ -1,0 +1,89 @@
+"""Focused tests for the logical clocks in ``repro.trace.clock``:
+Lamport's scalar rules and exact concurrent-vs-ordered decisions with
+vector clocks."""
+
+from repro.trace import LamportClock, VectorClock
+
+
+class TestLamportClock:
+    def test_tick_is_monotonic(self):
+        clock = LamportClock()
+        assert [clock.tick() for _ in range(3)] == [1, 2, 3]
+
+    def test_observe_jumps_past_remote(self):
+        clock = LamportClock()
+        clock.tick()
+        assert clock.observe(10) == 11
+
+    def test_observe_of_stale_remote_still_advances(self):
+        clock = LamportClock(5)
+        assert clock.observe(2) == 6
+
+    def test_send_receive_pair_orders_timestamps(self):
+        sender, receiver = LamportClock(), LamportClock()
+        sent = sender.tick()
+        received = receiver.observe(sent)
+        assert sent < received
+
+
+class TestVectorClockOrdered:
+    def test_successive_local_events_are_ordered(self):
+        first = VectorClock().tick("p")
+        second = first.tick("p")
+        assert first.happens_before(second)
+        assert not second.happens_before(first)
+        assert not first.concurrent_with(second)
+
+    def test_message_edge_orders_cross_node_events(self):
+        at_send = VectorClock().tick("sender")
+        at_receive = VectorClock().merge(at_send).tick("receiver")
+        assert at_send.happens_before(at_receive)
+        assert not at_receive.happens_before(at_send)
+
+    def test_transitivity_through_a_relay(self):
+        a = VectorClock().tick("p")
+        b = VectorClock().merge(a).tick("q")     # p -> q
+        c = VectorClock().merge(b).tick("r")     # q -> r
+        assert a.happens_before(c)
+
+
+class TestVectorClockConcurrent:
+    def test_independent_events_are_concurrent(self):
+        x = VectorClock().tick("p")
+        y = VectorClock().tick("q")
+        assert x.concurrent_with(y)
+        assert y.concurrent_with(x)
+        assert not x.happens_before(y)
+        assert not y.happens_before(x)
+
+    def test_diverging_histories_are_concurrent(self):
+        base = VectorClock().tick("p")
+        left = base.tick("p")
+        right = VectorClock().merge(base).tick("q")
+        assert left.concurrent_with(right)
+        assert base.happens_before(left)
+        assert base.happens_before(right)
+
+    def test_merge_joins_concurrent_histories(self):
+        x = VectorClock().tick("p")
+        y = VectorClock().tick("q")
+        joined = x.merge(y).tick("p")
+        assert x.happens_before(joined)
+        assert y.happens_before(joined)
+
+
+class TestVectorClockAlgebra:
+    def test_merge_is_componentwise_max(self):
+        x = VectorClock({"p": 3, "q": 1})
+        y = VectorClock({"q": 5, "r": 2})
+        merged = x.merge(y)
+        assert (merged["p"], merged["q"], merged["r"]) == (3, 5, 2)
+
+    def test_zero_entries_do_not_affect_equality(self):
+        assert VectorClock({"p": 0}) == VectorClock()
+        assert VectorClock({"p": 1, "q": 0}) == VectorClock({"p": 1})
+
+    def test_tick_does_not_mutate_the_original(self):
+        base = VectorClock()
+        base.tick("p")
+        assert base["p"] == 0

@@ -3,11 +3,10 @@ MinBFT, CheapBFT, UpRight, SeeMoRe, XFT."""
 
 import pytest
 
-from repro.core import Cluster
 from repro.core.exceptions import ConfigurationError
 from repro.protocols.cheapbft import run_cheapbft
 from repro.protocols.minbft import MinBftReplica, run_minbft
-from repro.protocols.seemore import Mode, SeeMoReReplica, run_seemore
+from repro.protocols.seemore import run_seemore
 from repro.protocols.upright import run_upright
 from repro.protocols.xft import (
     in_anarchy,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import Cluster
 from repro.core.exceptions import ConfigurationError
 from repro.net import SynchronousModel
 from repro.protocols.hotstuff import (
