@@ -63,7 +63,7 @@ def fork_row(tbt):
     }
 
 
-def test_ablations(benchmark, report):
+def test_ablations(benchmark, report, bench_snapshot):
     def run_all():
         return ([jitter_row(j) for j in (0.0, 1.0, 4.0, 10.0)],
                 [checkpoint_row(i) for i in (4, 8, 64)],
@@ -77,6 +77,13 @@ def test_ablations(benchmark, report):
     text += "\n\n" + render_table(forks,
                                   title="E19c — PoW interval vs fork rate")
     report("E19_ablations", text)
+    bench_snapshot("E19_ablations", protocol="ablations",
+                   zero_jitter_decided=jitter[0]["decided"],
+                   max_jitter_decided=jitter[-1]["decided"],
+                   checkpoint4_retained=checkpoints[0]["max retained slots"],
+                   checkpoint64_retained=checkpoints[-1]["max retained slots"],
+                   fork_rate_min_interval=forks[0]["fork rate"],
+                   fork_rate_max_interval=forks[-1]["fork rate"])
 
     # Zero jitter = the livelock; any meaningful jitter restores liveness.
     assert jitter[0]["decided"] == "0/8"

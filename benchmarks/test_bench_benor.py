@@ -38,7 +38,7 @@ def distribution(initial_values, crash, label):
     }
 
 
-def test_benor(benchmark, report):
+def test_benor(benchmark, report, bench_snapshot):
     def run_all():
         return [
             distribution([1] * 5, (), "unanimous inputs"),
@@ -54,6 +54,13 @@ def test_benor(benchmark, report):
     report("E14_benor", text)
 
     unanimous, split, crashed = rows
+    bench_snapshot("E14_benor", protocol="benor",
+                   runs=unanimous["runs"],
+                   unanimous_max_rounds=unanimous["max rounds"],
+                   split_median_rounds=split["median rounds"],
+                   crashed_max_rounds=crashed["max rounds"],
+                   all_decided=all(
+                       row["decided"] == row["runs"] for row in rows))
     # Every run decided (termination w.p. 1 — empirically, all 30 seeds).
     assert all(row["decided"] == row["runs"] for row in rows)
     # Unanimous inputs decide in round 1; splits need the coin.

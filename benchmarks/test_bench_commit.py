@@ -25,7 +25,7 @@ def scenario(protocol, crash_after, partial_count=0):
     }
 
 
-def test_commit_protocols(benchmark, report):
+def test_commit_protocols(benchmark, report, bench_snapshot):
     def run_all():
         return [
             scenario("2pc", None),
@@ -41,6 +41,11 @@ def test_commit_protocols(benchmark, report):
     report("E7_commit", text)
 
     happy_2pc, happy_3pc, blocked_2pc, term_3pc, term_3pc_pc, partial = rows
+    bench_snapshot("E7_commit", protocol="2pc/3pc",
+                   messages_2pc=happy_2pc["messages"],
+                   messages_3pc=happy_3pc["messages"],
+                   blocked_2pc=blocked_2pc["blocked cohorts"],
+                   blocked_3pc=term_3pc["blocked cohorts"])
     # Happy path: both commit; 3PC pays one extra phase of messages.
     assert happy_2pc["cohort states"] == "committed"
     assert happy_3pc["cohort states"] == "committed"

@@ -75,7 +75,7 @@ def fault_row():
     }
 
 
-def test_distributed_transactions(benchmark, report):
+def test_distributed_transactions(benchmark, report, bench_snapshot):
     def run_all():
         return ([fanout_row(k) for k in (1, 2, 3)], contention_row(),
                 fault_row())
@@ -86,6 +86,12 @@ def test_distributed_transactions(benchmark, report):
     text += "\n\n" + render_table([contention], title="contention (no-wait + retry)")
     text += "\n\n" + render_table([fault], title="replica failure inside groups")
     report("E18_dtxn", text)
+    bench_snapshot("E18_dtxn", protocol="dtxn",
+                   messages_1_partition=fanout[0]["messages / txn"],
+                   messages_2_partitions=fanout[1]["messages / txn"],
+                   messages_3_partitions=fanout[2]["messages / txn"],
+                   contention_committed=contention["committed"],
+                   fault_transfer=fault["transfer"])
 
     # Cost grows with the number of groups in the transaction.
     assert fanout[0]["messages / txn"] < fanout[1]["messages / txn"] \

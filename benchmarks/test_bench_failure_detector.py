@@ -42,7 +42,7 @@ def scenario(label, crash=(), detector_factory=None, horizon=3000.0,
     }
 
 
-def test_failure_detector_consensus(benchmark, report):
+def test_failure_detector_consensus(benchmark, report, bench_snapshot):
     def run_all():
         return [
             scenario("healthy heartbeat detector"),
@@ -60,6 +60,14 @@ def test_failure_detector_consensus(benchmark, report):
     report("E20_failure_detector", text)
 
     healthy, crashed, asynchronous, wrong = rows
+    bench_snapshot("E20_failure_detector", protocol="chandra-toueg",
+                   runs=healthy["runs"],
+                   healthy_decided=healthy["all decided"],
+                   crashed_decided=crashed["all decided"],
+                   wrong_oracle_decided=wrong["all decided"],
+                   agreement_always=all(
+                       row["agreement held"] == healthy["runs"]
+                       for row in rows))
     runs = healthy["runs"]
     # Liveness with a decent oracle, even under crashes and asynchrony.
     assert healthy["all decided"] == runs

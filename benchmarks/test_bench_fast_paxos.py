@@ -62,7 +62,7 @@ def collision_rows(runs=30):
     }, (sum(recovery_delays) / len(recovery_delays)) if recovery_delays else None
 
 
-def test_fast_paxos(benchmark, report):
+def test_fast_paxos(benchmark, report, bench_snapshot):
     def run_all():
         race, recovery_mean = collision_rows()
         return [fast_round_row(), basic_paxos_row(), race], recovery_mean
@@ -73,6 +73,12 @@ def test_fast_paxos(benchmark, report):
     report("E5_fast_paxos", text)
 
     fast, basic, race = rows
+    bench_snapshot("E5_fast_paxos", protocol="fast-paxos",
+                   fast_delays=fast["delays to learn"],
+                   basic_delays=basic["delays to learn"],
+                   fast_nodes=fast["nodes"], basic_nodes=basic["nodes"],
+                   collisions=race["collisions"],
+                   recovery_mean_delay=round(recovery_mean, 4))
     # The headline: 2 delays instead of 3, paid for with 3f+1 nodes.
     assert fast["delays to learn"] == 2.0
     assert basic["delays to learn"] == 3.0

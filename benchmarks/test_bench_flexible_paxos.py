@@ -57,7 +57,7 @@ def end_to_end_rows():
     return rows
 
 
-def test_flexible_paxos(benchmark, report):
+def test_flexible_paxos(benchmark, report, bench_snapshot):
     rows, runs = benchmark.pedantic(
         lambda: (quorum_rows(), end_to_end_rows()), rounds=1, iterations=1
     )
@@ -66,6 +66,12 @@ def test_flexible_paxos(benchmark, report):
     report("E6_flexible_paxos", text)
 
     majority, flexible, grid = rows
+    bench_snapshot("E6_flexible_paxos", protocol="flexible-paxos",
+                   majority_phase2=majority["phase-2 quorum"],
+                   flexible_phase2=flexible["phase-2 quorum"],
+                   grid_phase2=grid["phase-2 quorum"],
+                   flexible_crash_budget=flexible["replication crash budget"],
+                   unsafe_decides_two=runs[-1]["decided"] == "A/B")
     # Replication quorums shrink below the majority while intersection holds.
     assert flexible["phase-2 quorum"] < majority["phase-2 quorum"]
     assert grid["phase-2 quorum"] < majority["phase-2 quorum"]

@@ -54,7 +54,7 @@ def pipeline_row():
     }, replica.view, decided
 
 
-def test_hotstuff(benchmark, report):
+def test_hotstuff(benchmark, report, bench_snapshot):
     def run_all():
         rows, hot_exp, pbft_exp = linearity_rows()
         pipe, views, decided = pipeline_row()
@@ -69,6 +69,13 @@ def test_hotstuff(benchmark, report):
     text += "\n%s: %s" % (latency["metric"], latency["value"])
     text += "\n%s: %s" % (pipe["metric"], pipe["value"])
     report("E11_hotstuff", text)
+    bench_snapshot("E11_hotstuff", protocol="hotstuff", phases=7,
+                   messages_f1=rows[0]["hotstuff msgs"],
+                   pbft_messages_f1=rows[0]["pbft msgs"],
+                   exchanges_per_command=latency["value"],
+                   fitted_exponent=round(hot_exp, 4),
+                   pbft_fitted_exponent=round(pbft_exp, 4),
+                   chained_views=views, chained_decided=decided)
 
     # 7 one-way exchanges after the request (the paper's 7 phases).
     assert latency["value"] == 8.0

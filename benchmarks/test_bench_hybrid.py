@@ -95,7 +95,7 @@ def xft_rows():
     return rows
 
 
-def test_hybrid_models(benchmark, report):
+def test_hybrid_models(benchmark, report, bench_snapshot):
     def run_all():
         return upright_rows(), seemore_rows(), xft_rows()
 
@@ -105,6 +105,13 @@ def test_hybrid_models(benchmark, report):
     text += "\n\n" + render_table(seemore, title="E13b — SeeMoRe's three modes")
     text += "\n\n" + render_table(xft, title="E13c — XFT anarchy boundary")
     report("E13_hybrid", text)
+    bench_snapshot("E13_hybrid", protocol="upright/seemore/xft",
+                   upright_n=upright[0]["n (3m+2c+1)"],
+                   upright_quorum=upright[0]["quorum (2m+c+1)"],
+                   seemore_mode1_messages=seemore[0]["messages"],
+                   seemore_mode3_messages=seemore[2]["messages"],
+                   xft_safe_outside_anarchy=all(
+                       row["safe"] == (not row["anarchy"]) for row in xft))
 
     for row in upright:
         assert row["live"] == row["expected live"]

@@ -39,7 +39,7 @@ def run_policy(policy_name):
     }
 
 
-def test_livelock_vs_randomized_backoff(benchmark, report):
+def test_livelock_vs_randomized_backoff(benchmark, report, bench_snapshot):
     rows = benchmark.pedantic(
         lambda: [run_policy("fixed"), run_policy("randomized")],
         rounds=1, iterations=1,
@@ -49,6 +49,11 @@ def test_livelock_vs_randomized_backoff(benchmark, report):
         title="E3 — competing proposers: livelock vs randomized backoff",
     )
     report("E3_livelock", text)
+    bench_snapshot("E3_livelock", protocol="paxos",
+                   fixed_decided=rows[0]["decided"],
+                   randomized_decided=rows[1]["decided"],
+                   randomized_mean_rounds=rows[1]["mean rounds"],
+                   randomized_mean_latency=rows[1]["mean decision time"])
 
     fixed, randomized = rows
     # The figure's claim: symmetric restarts can livelock forever...

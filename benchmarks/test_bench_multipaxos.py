@@ -47,7 +47,7 @@ def basic_paxos_costs(commands):
     }
 
 
-def test_phase1_amortisation(benchmark, report):
+def test_phase1_amortisation(benchmark, report, bench_snapshot):
     commands = 20
     rows = benchmark.pedantic(
         lambda: [basic_paxos_costs(commands), multi_paxos_costs(commands)],
@@ -57,6 +57,10 @@ def test_phase1_amortisation(benchmark, report):
         rows, title="E4 — phase 1 runs only on leader change (20 commands, n=3)"
     )
     report("E4_multipaxos", text)
+    bench_snapshot("E4_multipaxos", protocol="multi-paxos",
+                   phase1_per_command=rows[1]["phase-1 msgs / command"],
+                   phase2_per_command=rows[1]["phase-2 msgs / command"],
+                   basic_phase1_per_command=rows[0]["phase-1 msgs / command"])
 
     basic, multi = rows
     # Basic Paxos pays phase 1 for every command; Multi-Paxos pays it once.

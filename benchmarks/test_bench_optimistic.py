@@ -104,7 +104,7 @@ def partition_rows():
     ], value, store.converged("k")
 
 
-def test_pessimistic_vs_optimistic(benchmark, report):
+def test_pessimistic_vs_optimistic(benchmark, report, bench_snapshot):
     def run_all():
         return cost_rows(), staleness_rows(), partition_rows()
 
@@ -116,6 +116,12 @@ def test_pessimistic_vs_optimistic(benchmark, report):
                                         "(one lossy preferred replica)")
     text += "\n\n" + render_table(partition, title="behaviour under partition")
     report("E22_optimistic", text)
+    bench_snapshot("E22_optimistic", protocol="smr/dynamo",
+                   cp_messages_10_writes=costs[0]["messages / 10 writes"],
+                   ap_messages_10_writes=costs[1]["messages / 10 writes"],
+                   strong_quorum_stale_reads=staleness[0]["stale reads / 20"],
+                   weak_quorum_stale_reads=staleness[1]["stale reads / 20"],
+                   ap_converged=converged)
 
     # Consensus costs more than quorum writes in the normal case.
     assert costs[0]["messages / 10 writes"] > costs[1]["messages / 10 writes"]

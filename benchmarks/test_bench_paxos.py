@@ -31,12 +31,17 @@ def run_flow(f):
     }
 
 
-def test_paxos_flow(benchmark, report):
+def test_paxos_flow(benchmark, report, bench_snapshot):
     rows = benchmark.pedantic(
         lambda: [run_flow(f) for f in (1, 2, 3)], rounds=1, iterations=1
     )
     text = render_table(rows, title="E2 — Paxos: prepare/accept/decide flow")
     report("E2_paxos_flow", text)
+    bench_snapshot("E2_paxos_flow", protocol="paxos", phases=2,
+                   messages_f1=sum(rows[0][key] for key in
+                                   ("prepare msgs", "ack msgs", "accept msgs",
+                                    "accepted msgs", "decide msgs")),
+                   decision_delay=rows[0]["decision delay"])
 
     for row in rows:
         n = row["nodes (2f+1)"]

@@ -37,7 +37,7 @@ def view_change_row(f):
     return {"f": f, "n": 3 * f + 1, "view-change msgs": vc_msgs}
 
 
-def test_pbft(benchmark, report):
+def test_pbft(benchmark, report, bench_snapshot):
     def run_all():
         return ([agreement_row(f) for f in (1, 2, 3)],
                 [view_change_row(f) for f in (1, 2, 3)])
@@ -57,6 +57,10 @@ def test_pbft(benchmark, report):
             "(paper: O(N^3) in bits — each of O(N^2) messages carries " \
             "O(N) certificates)" % vc_exponent
     report("E9_pbft", text)
+    bench_snapshot("E9_pbft", protocol="pbft", phases=3,
+                   agreement_messages_f1=agreement[0]["agreement msgs"],
+                   fitted_exponent=round(exponent, 4),
+                   view_change_exponent=round(vc_exponent, 4))
 
     # Quadratic agreement.
     assert classify_order(exponent) == "O(N^2)"

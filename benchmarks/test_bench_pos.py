@@ -32,7 +32,7 @@ def coin_age_curve():
     } for days in (10, 29, 30, 60, 90, 180)]
 
 
-def test_pos(benchmark, report):
+def test_pos(benchmark, report, bench_snapshot):
     def run_all():
         return (share_rows("randomized") + share_rows("coin-age"),
                 coin_age_curve())
@@ -41,6 +41,11 @@ def test_pos(benchmark, report):
     text = render_table(shares, title="E16 — PoS block share vs stake share")
     text += "\n\n" + render_table(curve, title="coin-age weight curve (30-day gate, 90-day cap)")
     report("E16_pos", text)
+    bench_snapshot("E16_pos", protocol="pos",
+                   max_share_error=max(
+                       abs(row["block share"] - row["stake share"])
+                       for row in shares),
+                   gate_days=30, cap_days=90)
 
     for row in shares:
         assert abs(row["block share"] - row["stake share"]) < 0.06

@@ -140,7 +140,7 @@ def selfish_rows():
     return rows
 
 
-def test_pow(benchmark, report):
+def test_pow(benchmark, report, bench_snapshot):
     def run_all():
         return (nonce_search_rows(), fork_rows(), retarget_rows(),
                 halving_rows(), centralization_rows(), doublespend_rows(),
@@ -157,6 +157,12 @@ def test_pow(benchmark, report):
     text += "\n\n" + render_table(dspend, title="E15f — double-spend success (weak finality)")
     text += "\n\n" + render_table(selfish, title="E15g — selfish mining")
     report("E15_pow", text)
+    bench_snapshot("E15_pow", protocol="pow",
+                   fork_rate_fast=forks[0]["fork rate"],
+                   fork_rate_slow=forks[-1]["fork rate"],
+                   whale_block_share=central[0]["block share"],
+                   doublespend_q45_k6=dspend[-1]["empirical success"],
+                   selfish_profitable_at_04=selfish[2]["profitable"])
 
     # Nonce search effort tracks the target (within Poisson noise).
     for row in nonce:

@@ -83,7 +83,7 @@ def measure_all():
     return rows
 
 
-def test_price_of_tolerance(benchmark, report):
+def test_price_of_tolerance(benchmark, report, bench_snapshot):
     rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
     text = render_table(
         rows,
@@ -92,6 +92,11 @@ def test_price_of_tolerance(benchmark, report):
     report("E21_price_of_tolerance", text)
 
     by_name = {row["protocol"]: row for row in rows}
+    bench_snapshot("E21_price_of_tolerance", protocol="ladder",
+                   ladder={row["protocol"]: {
+                       "replicas": row["replicas (f=1)"],
+                       "messages": row["messages (5 ops)"],
+                   } for row in rows})
     # Replica bills: 2f+1 for crash/hybrid/XFT, 3f+1 for full Byzantine.
     assert by_name["multi-paxos"]["replicas (f=1)"] == 3
     assert by_name["minbft"]["replicas (f=1)"] == 3

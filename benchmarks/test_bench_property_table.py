@@ -108,10 +108,19 @@ def build_property_table():
     return rows
 
 
-def test_property_table(benchmark, report):
+def test_property_table(benchmark, report, bench_snapshot):
     rows = benchmark.pedantic(build_property_table, rounds=1, iterations=1)
     text = render_table(rows, title="E1 — protocol property boxes: paper vs measured")
     report("E1_property_table", text)
+    bench_snapshot("E1_property_table", protocols={
+        row["protocol"]: {
+            "nodes": row["measured nodes (f=1)"],
+            "phases": row["measured phases"],
+            "fitted_exponent": round(row["fitted exponent"], 4),
+            "complexity": row["measured complexity"],
+        }
+        for row in rows
+    })
 
     by_protocol = {row["protocol"]: row for row in rows}
     # Node formulas at f=1.

@@ -40,7 +40,7 @@ def om_sweep():
     return rows
 
 
-def test_psl_bound(benchmark, report):
+def test_psl_bound(benchmark, report, bench_snapshot):
     def run_all():
         return ([vector_case(4, (2,)), vector_case(3, (2,))], om_sweep())
 
@@ -50,6 +50,12 @@ def test_psl_bound(benchmark, report):
     report("E8_psl_bound", text)
 
     case4, case3 = cases
+    bench_snapshot("E8_psl_bound", protocol="psl",
+                   n4_agreement=case4["agreement"],
+                   n4_validity=case4["validity"],
+                   n3_validity=case3["validity"],
+                   bound_holds=all(
+                       row["IC satisfied"] == row["n >= 3m+1"] for row in sweep))
     assert case4["result vector"] == str((1, 2, UNKNOWN, 4))
     assert case4["agreement"] and case4["validity"]
     assert case3["result vector"] == str((UNKNOWN, UNKNOWN, UNKNOWN))

@@ -38,7 +38,7 @@ def faulty_row():
     }
 
 
-def test_tendermint(benchmark, report):
+def test_tendermint(benchmark, report, bench_snapshot):
     def run_all():
         return [healthy_row(f) for f in (1, 2, 3)], faulty_row()
 
@@ -51,6 +51,10 @@ def test_tendermint(benchmark, report):
     text += "\n\n" + render_table([faulty],
                                   title="one silent proposer in rotation")
     report("E17_tendermint", text)
+    bench_snapshot("E17_tendermint", protocol="tendermint",
+                   messages_f1=healthy[0]["messages"],
+                   fitted_exponent=round(exponent, 4),
+                   faulty_max_rounds=faulty["max rounds/height"])
 
     for row in healthy:
         assert row["heights"] == 4

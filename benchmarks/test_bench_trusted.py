@@ -45,7 +45,7 @@ def switch_row():
     }
 
 
-def test_trusted_components(benchmark, report):
+def test_trusted_components(benchmark, report, bench_snapshot):
     def run_all():
         rows = [
             protocol_row("pbft", lambda c, **kw: run_pbft(
@@ -63,6 +63,13 @@ def test_trusted_components(benchmark, report):
     report("E12_trusted", text)
 
     pbft, minbft, cheapbft = rows
+    bench_snapshot("E12_trusted", protocol="minbft/cheapbft",
+                   pbft_replicas=pbft["replicas"],
+                   minbft_replicas=minbft["replicas"],
+                   cheapbft_active=cheapbft["active in normal case"],
+                   pbft_messages=pbft["messages (3 ops)"],
+                   minbft_messages=minbft["messages (3 ops)"],
+                   cheapbft_messages=cheapbft["messages (3 ops)"])
     # USIG removes equivocation: 2f+1 instead of 3f+1.
     assert pbft["replicas"] == 4
     assert minbft["replicas"] == 3

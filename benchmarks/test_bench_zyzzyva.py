@@ -41,7 +41,7 @@ def pbft_row():
     }
 
 
-def test_zyzzyva(benchmark, report):
+def test_zyzzyva(benchmark, report, bench_snapshot):
     def run_all():
         return [case_row("all replicas healthy (case 1)", ()),
                 case_row("one silent replica (case 2)", (3,)),
@@ -52,6 +52,12 @@ def test_zyzzyva(benchmark, report):
     report("E10_zyzzyva", text)
 
     case1, case2, pbft = rows
+    bench_snapshot("E10_zyzzyva", protocol="zyzzyva",
+                   case1_latency=case1["mean latency (delays)"],
+                   case2_latency=case2["mean latency (delays)"],
+                   pbft_latency=pbft["mean latency (delays)"],
+                   messages_f1=case1["messages"],
+                   pbft_messages_f1=pbft["messages"])
     assert case1["case-1 completions"] == 3
     assert case2["case-2 completions"] == 3
     # Case 1 is a single phase: request + order + reply = 3 delays,

@@ -6,6 +6,10 @@ Commands:
 * ``run <protocol>`` — one live run of a protocol, with a summary.
 * ``trace <protocol>`` — record a causal trace of one run and render it
   as an ASCII message-flow diagram (optionally exporting JSONL).
+* ``stats <protocol>`` — one telemetry-instrumented run: labeled
+  counters and latency histograms rendered as ASCII, optionally
+  exported as a deterministic JSON run report and/or a Prometheus
+  text exposition.
 * ``kv`` — interactive-ish replicated-KV demo (scripted operations).
 * ``mine`` — a short PoW mining-network run with fork statistics.
 * ``table`` — the measured-vs-paper comparison table (E1, abridged).
@@ -28,6 +32,22 @@ def cmd_list(_args):
 
 def cmd_experiments(_args):
     from .analysis import generate_experiments_md
+    from .analysis.report import EXPERIMENT_NOTES, bench_file_for, collect_results
+    results_dir = Path("benchmarks/results")
+    have = collect_results(results_dir) if results_dir.is_dir() else {}
+    missing = sorted(set(EXPERIMENT_NOTES) - set(have),
+                     key=lambda eid: int(eid[1:]))
+    if missing:
+        print("missing %d benchmark artifact(s) under %s — run the "
+              "benches first:" % (len(missing), results_dir))
+        for eid in missing:
+            print("  %-4s  PYTHONPATH=src python -m pytest "
+                  "benchmarks/%s -q" % (eid, bench_file_for(eid)))
+        if not have:
+            print("(nothing to assemble yet; EXPERIMENTS.md left untouched)")
+            return 1
+        print("assembling EXPERIMENTS.md from the %d artifact(s) present"
+              % len(have))
     path, count = generate_experiments_md()
     print("wrote %s (%d experiments)" % (path, count))
     return 0
@@ -172,6 +192,46 @@ def cmd_trace(args):
     return 0
 
 
+def cmd_stats(args):
+    from .telemetry import (
+        render_summary,
+        run_report,
+        write_prometheus,
+        write_report,
+    )
+    runner = _RUNNERS.get(args.protocol)
+    if runner is None:
+        print("unknown or non-runnable protocol %r; choices: %s"
+              % (args.protocol, ", ".join(sorted(_RUNNERS))))
+        return 1
+    cluster = Cluster(seed=args.seed, telemetry=True)
+    summary = runner(cluster)
+    registry = cluster.telemetry
+    report = run_report(registry, cluster.metrics, protocol=args.protocol,
+                        seed=args.seed, virtual_time=cluster.now)
+    if args.json:
+        try:
+            count = write_report(report, args.json)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.json, exc))
+            return 1
+        print("wrote %s (%d series)" % (args.json, count))
+    if args.prom:
+        try:
+            count = write_prometheus(registry, args.prom)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.prom, exc))
+            return 1
+        print("wrote %s (%d series)" % (args.prom, count))
+    print(render_summary(registry, title="%s (seed %d)" % (args.protocol,
+                                                           args.seed)))
+    print()
+    print("%s: %s" % (args.protocol, summary))
+    print("telemetry: %d series | messages: %d | virtual time: %.1f"
+          % (len(registry), cluster.metrics.messages_total, cluster.now))
+    return 0
+
+
 def cmd_kv(args):
     from .smr import ReplicatedKV
     kv = ReplicatedKV(n_replicas=args.replicas, protocol=args.protocol,
@@ -239,6 +299,18 @@ def main(argv=None):
                               help="also render message arrivals")
     trace_parser.add_argument("--timers", action="store_true",
                               help="also render timer firings")
+    stats_parser = sub.add_parser(
+        "stats",
+        help="run one protocol with telemetry and print labeled counters "
+             "and latency histograms (optionally exporting a deterministic "
+             "JSON run report and a Prometheus text exposition)")
+    stats_parser.add_argument("protocol", help="e.g. paxos, pbft, hotstuff")
+    stats_parser.add_argument("--seed", type=int, default=0)
+    stats_parser.add_argument("--json", metavar="PATH", default=None,
+                              help="also export the JSON run report "
+                                   "(same-seed byte-identical)")
+    stats_parser.add_argument("--prom", metavar="PATH", default=None,
+                              help="also export a Prometheus text exposition")
     kv_parser = sub.add_parser("kv", help="replicated-KV demo")
     kv_parser.add_argument("--protocol", default="multi-paxos",
                            choices=("multi-paxos", "raft", "pbft"))
@@ -255,6 +327,7 @@ def main(argv=None):
         "experiments": cmd_experiments,
         "run": cmd_run,
         "trace": cmd_trace,
+        "stats": cmd_stats,
         "kv": cmd_kv,
         "mine": cmd_mine,
     }[args.command]

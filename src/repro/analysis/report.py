@@ -150,6 +150,40 @@ EXPERIMENT_NOTES = {
             "oracle-independent, exactly the division FLP allows."),
 }
 
+#: Which benchmark file regenerates each experiment's artifact — the
+#: hint ``python -m repro experiments`` prints when artifacts are
+#: missing from ``benchmarks/results/``.
+EXPERIMENT_BENCHES = {
+    "E1": "test_bench_property_table.py",
+    "E2": "test_bench_paxos.py",
+    "E3": "test_bench_livelock.py",
+    "E4": "test_bench_multipaxos.py",
+    "E5": "test_bench_fast_paxos.py",
+    "E6": "test_bench_flexible_paxos.py",
+    "E7": "test_bench_commit.py",
+    "E8": "test_bench_psl_bound.py",
+    "E9": "test_bench_pbft.py",
+    "E10": "test_bench_zyzzyva.py",
+    "E11": "test_bench_hotstuff.py",
+    "E12": "test_bench_trusted.py",
+    "E13": "test_bench_hybrid.py",
+    "E14": "test_bench_benor.py",
+    "E15": "test_bench_pow.py",
+    "E16": "test_bench_pos.py",
+    "E17": "test_bench_tendermint.py",
+    "E18": "test_bench_dtxn.py",
+    "E19": "test_bench_ablations.py",
+    "E20": "test_bench_failure_detector.py",
+    "E21": "test_bench_price_of_tolerance.py",
+    "E22": "test_bench_optimistic.py",
+}
+
+
+def bench_file_for(experiment_id):
+    """The ``benchmarks/`` file that regenerates ``experiment_id``."""
+    return EXPERIMENT_BENCHES.get(experiment_id, "test_bench_*.py")
+
+
 HEADER = """# EXPERIMENTS — paper vs measured
 
 Every figure/table in the tutorial, regenerated by `pytest benchmarks/

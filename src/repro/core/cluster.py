@@ -12,6 +12,7 @@ from ..metrics.collector import MetricsCollector
 from ..net.delivery import UniformDelayModel
 from ..net.network import Network
 from ..sim.simulator import Simulator
+from ..telemetry.registry import MetricsRegistry
 from ..trace.tracer import Tracer
 
 
@@ -28,18 +29,30 @@ class Cluster:
         When true, attach a :class:`~repro.trace.Tracer` recording every
         send/deliver/drop/timer/phase-mark with per-node Lamport clocks.
         Off by default; an untraced cluster pays nothing.
+    telemetry:
+        When true, attach a :class:`~repro.telemetry.MetricsRegistry` and
+        record labeled counters and latency histograms from the network,
+        the simulator's event loop and timer wheel, fault injection and
+        the metrics collector's phase/request marks.  Off by default; an
+        un-instrumented cluster pays nothing, and telemetry only
+        *observes* — enabling it never changes a run's behaviour.
     """
 
-    def __init__(self, seed=0, delivery=None, trace=False):
+    def __init__(self, seed=0, delivery=None, trace=False, telemetry=False):
         self.sim = Simulator(seed=seed)
         self.tracer = Tracer(self.sim) if trace else None
         self.sim.tracer = self.tracer
-        self.metrics = MetricsCollector(tracer=self.tracer)
+        self.telemetry = MetricsRegistry() if telemetry else None
+        if self.telemetry is not None:
+            self.sim.attach_telemetry(self.telemetry)
+        self.metrics = MetricsCollector(tracer=self.tracer,
+                                        registry=self.telemetry)
         self.network = Network(
             self.sim,
             delivery=delivery if delivery is not None else UniformDelayModel(),
             metrics=self.metrics,
             tracer=self.tracer,
+            telemetry=self.telemetry,
         )
         self.keys = KeyRegistry(seed=b"cluster-%d" % seed)
         self.usig_authority = UsigAuthority(seed=b"cluster-usig-%d" % seed)

@@ -22,6 +22,9 @@ class FaultPlan:
 
     def _log(self, kind, detail):
         self.events.append((self.cluster.sim.now, kind, detail))
+        telemetry = getattr(self.cluster, "telemetry", None)
+        if telemetry is not None:
+            telemetry.counter("fault_injections_total", kind=kind).inc()
 
     # -- process faults ---------------------------------------------------------
 

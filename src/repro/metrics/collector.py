@@ -5,20 +5,44 @@ how many replicas, how many communication phases, how many messages
 (and how that count scales with N).  The collector hangs off the
 network transport and records everything passively; protocols mark
 phase boundaries and request-level latencies explicitly.
+
+The collector sits *on top of* the telemetry registry: its flat counters
+remain the cheap always-on substrate every benchmark reads, and when a
+:class:`~repro.telemetry.MetricsRegistry` is attached (via
+``Cluster(telemetry=True)``) the same ``mark_phase``/``start_request``
+call sites additionally feed labeled series — per-phase latency
+histograms (the time from entering a phase to entering the next, i.e.
+how long that phase's quorum took to assemble, in message delays) and
+per-protocol request-latency histograms.  With no registry attached the
+extra work is a single ``is not None`` check per call.
 """
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
+
+
+def _protocol_from_label(label):
+    """Request labels follow ``"<protocol>:<id>"``; default to the whole
+    label when no protocol prefix was used."""
+    head, sep, _tail = str(label).partition(":")
+    return head if sep else str(label)
 
 
 @dataclass
 class LatencyRecord:
-    """One request's life: virtual start/end time and phase count."""
+    """One request's life: virtual start/end time and phase count.
+
+    ``unmatched`` marks a ``finish_request`` that never saw a matching
+    ``start_request``; such records carry no meaningful latency and are
+    excluded from the latency aggregates.
+    """
 
     label: str
     started_at: float
-    finished_at: float = None
+    finished_at: Optional[float] = None
     phases: int = 0
+    unmatched: bool = False
 
     @property
     def latency(self):
@@ -41,7 +65,14 @@ class MetricsCollector:
     finished_requests: list = field(default_factory=list)
     #: Optional :class:`~repro.trace.Tracer`; phase marks and request
     #: boundaries are mirrored into the trace when present.
-    tracer: object = None
+    tracer: Optional[object] = None
+    #: Optional :class:`~repro.telemetry.MetricsRegistry`; phase marks
+    #: and request boundaries additionally feed labeled histograms and
+    #: counters when present.
+    registry: Optional[object] = None
+    #: Per-protocol (phase, time) of the most recent mark, for phase
+    #: latency deltas.
+    _phase_cursor: dict = field(default_factory=dict)
 
     # -- fed by the network --------------------------------------------
 
@@ -57,6 +88,17 @@ class MetricsCollector:
     def mark_phase(self, protocol, phase, now):
         """Record that ``protocol`` entered communication phase ``phase``."""
         self.phase_marks.append((protocol, phase, now))
+        if self.registry is not None:
+            self.registry.counter("phase_marks_total", protocol=str(protocol),
+                                  phase=str(phase)).inc()
+            previous = self._phase_cursor.get(protocol)
+            if previous is not None:
+                prev_phase, prev_time = previous
+                self.registry.histogram(
+                    "phase_latency", protocol=str(protocol),
+                    phase=str(prev_phase),
+                ).observe(now - prev_time)
+            self._phase_cursor[protocol] = (phase, now)
         if self.tracer is not None:
             self.tracer.on_phase(protocol, phase)
 
@@ -71,17 +113,38 @@ class MetricsCollector:
     def start_request(self, label, now):
         record = LatencyRecord(label, now)
         self._open_requests[label] = record
+        if self.registry is not None:
+            self.registry.counter(
+                "requests_started_total",
+                protocol=_protocol_from_label(label)).inc()
         if self.tracer is not None:
             self.tracer.on_request(label, "start")
         return record
 
+    def request_open(self, label):
+        """True while ``label`` has been started but not finished."""
+        return label in self._open_requests
+
     def finish_request(self, label, now, phases=0):
         record = self._open_requests.pop(label, None)
         if record is None:
-            record = LatencyRecord(label, now)
+            # Never started: keep the record for the audit trail but tag
+            # it so it cannot fabricate a zero latency in the aggregates.
+            record = LatencyRecord(label, now, unmatched=True)
         record.finished_at = now
         record.phases = phases
         self.finished_requests.append(record)
+        if self.registry is not None:
+            protocol = _protocol_from_label(label)
+            if record.unmatched:
+                self.registry.counter("requests_unmatched_total",
+                                      protocol=protocol).inc()
+            else:
+                self.registry.counter("requests_finished_total",
+                                      protocol=protocol).inc()
+                self.registry.histogram("request_latency",
+                                        protocol=protocol
+                                        ).observe(record.latency)
         if self.tracer is not None:
             self.tracer.on_request(label, "end")
         return record
@@ -89,8 +152,12 @@ class MetricsCollector:
     # -- derived -----------------------------------------------------------
 
     def latencies(self):
-        """Completed request latencies, in completion order."""
-        return [r.latency for r in self.finished_requests]
+        """Completed request latencies, in completion order.
+
+        Unmatched records (``finish_request`` without a start) are
+        excluded — they have no real start time.
+        """
+        return [r.latency for r in self.finished_requests if not r.unmatched]
 
     def mean_latency(self):
         values = self.latencies()
@@ -98,17 +165,28 @@ class MetricsCollector:
             return None
         return sum(values) / len(values)
 
+    def unmatched_requests(self):
+        """Count of finish_request calls that never saw a start."""
+        return sum(1 for r in self.finished_requests if r.unmatched)
+
     def messages_of_types(self, *mtypes):
         return sum(self.by_type[t] for t in mtypes)
 
     def snapshot(self):
-        """Plain-dict summary for tables and EXPERIMENTS.md."""
+        """Plain-dict summary for tables and EXPERIMENTS.md.
+
+        Keys (top-level and within ``by_type``) are emitted in sorted
+        order so JSON serialisations are deterministic regardless of
+        message first-seen order.
+        """
         return {
-            "messages_total": self.messages_total,
+            "by_type": {mtype: self.by_type[mtype]
+                        for mtype in sorted(self.by_type)},
             "bytes_total": self.bytes_total,
-            "by_type": dict(self.by_type),
             "mean_latency": self.mean_latency(),
+            "messages_total": self.messages_total,
             "requests": len(self.finished_requests),
+            "unmatched_requests": self.unmatched_requests(),
         }
 
     def reset(self):
@@ -120,3 +198,4 @@ class MetricsCollector:
         self.phase_marks.clear()
         self._open_requests.clear()
         self.finished_requests.clear()
+        self._phase_cursor.clear()

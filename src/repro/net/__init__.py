@@ -8,7 +8,7 @@ from .delivery import (
     SynchronousModel,
     UniformDelayModel,
 )
-from .message import Envelope, Message
+from .message import Envelope, Message, protocol_of
 from .network import Network
 from .partitions import PartitionManager
 
@@ -23,4 +23,5 @@ __all__ = [
     "PerLinkModel",
     "SynchronousModel",
     "UniformDelayModel",
+    "protocol_of",
 ]

@@ -33,6 +33,17 @@ class Message:
         return total
 
 
+def protocol_of(message):
+    """Telemetry's ``protocol`` label for a message: the leaf module the
+    message class was defined in (``repro.protocols.paxos`` → ``paxos``).
+
+    Deterministic, needs no per-message opt-in, and groups each
+    protocol's whole vocabulary under one label; shared/base messages
+    land under their defining module (e.g. ``message``).
+    """
+    return type(message).__module__.rsplit(".", 1)[-1]
+
+
 def _field_size(value):
     if value is None:
         return 1

@@ -9,6 +9,7 @@ rewrite payloads).
 """
 
 from .delivery import DeliveryModel, UniformDelayModel
+from .message import protocol_of
 from .partitions import PartitionManager
 
 
@@ -29,13 +30,20 @@ class Network:
         Optional :class:`~repro.trace.Tracer`; every send, delivery and
         drop is recorded on it.  ``None`` (the default) keeps the send
         path on the untraced fast branch.
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry`; sends, bytes
+        and drops are recorded as labeled series — ``(protocol, mtype,
+        link)`` for traffic, ``(reason, mtype)`` for drops, per-node
+        send/receive counters.  ``None`` (the default) skips it all.
     """
 
-    def __init__(self, sim, delivery=None, metrics=None, tracer=None):
+    def __init__(self, sim, delivery=None, metrics=None, tracer=None,
+                 telemetry=None):
         self.sim = sim
         self.delivery = delivery if delivery is not None else UniformDelayModel()
         self.metrics = metrics
         self.tracer = tracer
+        self.telemetry = telemetry
         self.partitions = PartitionManager()
         self._nodes = {}
         self._interceptors = []
@@ -88,21 +96,34 @@ class Network:
             raise KeyError("unknown destination %r" % (dst,))
         if self.metrics is not None:
             self.metrics.record_message(src, dst, message)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            proto = protocol_of(message)
+            link = "%s->%s" % (src, dst)
+            telemetry.counter("net_messages_total", protocol=proto,
+                              mtype=message.mtype, link=link).inc()
+            telemetry.counter("net_bytes_total", protocol=proto,
+                              mtype=message.mtype,
+                              link=link).inc(message.size_estimate())
+            telemetry.counter("node_sent_total", node=src).inc()
         tracer = self.tracer
         token = tracer.on_send(src, dst, message) if tracer is not None else None
         for interceptor in self._interceptors:
             if interceptor(src, dst, message) is False:
                 if tracer is not None:
                     tracer.on_drop(src, dst, message, "intercepted", token)
+                self._count_drop(message, "intercepted")
                 return False
         if not self.partitions.connected(src, dst):
             if tracer is not None:
                 tracer.on_drop(src, dst, message, "partitioned", token)
+            self._count_drop(message, "partitioned")
             return False
         delay = self.delivery.delay(self.sim.rng, src, dst, self.sim.now)
         if delay is DeliveryModel.DROP:
             if tracer is not None:
                 tracer.on_drop(src, dst, message, "lost", token)
+            self._count_drop(message, "lost")
             return False
         if tracer is None:
             self.sim.schedule(delay, self._deliver, src, dst, message)
@@ -133,16 +154,29 @@ class Network:
                 sent += 1
         return sent
 
+    def _count_drop(self, message, reason):
+        if self.telemetry is not None:
+            self.telemetry.counter("net_drops_total", reason=reason,
+                                   mtype=message.mtype).inc()
+
+    def _count_receive(self, dst):
+        if self.telemetry is not None:
+            self.telemetry.counter("node_received_total", node=dst).inc()
+
     def _deliver(self, src, dst, message):
         node = self._nodes.get(dst)
         if node is None or node.crashed:
+            self._count_drop(message, "crashed")
             return
+        self._count_receive(dst)
         node.deliver(message, src)
 
     def _deliver_traced(self, src, dst, message, token):
         node = self._nodes.get(dst)
         if node is None or node.crashed:
             self.tracer.on_drop(src, dst, message, "crashed", token)
+            self._count_drop(message, "crashed")
             return
         self.tracer.on_deliver(src, dst, message, token)
+        self._count_receive(dst)
         node.deliver(message, src)

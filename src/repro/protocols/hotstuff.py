@@ -383,9 +383,14 @@ class ChainedHotStuffReplica(Node):
         self._proposed_views.add(self.view)
         qc_view, qc_hash, qc = self.high_qc
         block = Block(self.view, qc_hash, self._next_command(), qc_view, qc)
-        if self.network.metrics is not None:
-            self.network.metrics.mark_phase("hotstuff-chained", "propose",
-                                            self.sim.now)
+        metrics = self.network.metrics
+        if metrics is not None:
+            metrics.mark_phase("hotstuff-chained", "propose", self.sim.now)
+            label = "hotstuff:%s" % (block.command,)
+            if block.command in self.commands and not metrics.request_open(label):
+                # Span opens when a command first enters a proposed block;
+                # a re-proposal after a failed view keeps the original.
+                metrics.start_request(label, self.sim.now)
         proposal = Proposal(block)
         for peer in self.peers:
             if peer != self.name:
@@ -481,6 +486,11 @@ class ChainedHotStuffReplica(Node):
         for blk in reversed(chain):
             if blk.command != "genesis":
                 self.decided.append(blk.command)
+                metrics = self.network.metrics
+                label = "hotstuff:%s" % (blk.command,)
+                if metrics is not None and metrics.request_open(label):
+                    # First replica to three-chain-commit closes the span.
+                    metrics.finish_request(label, self.sim.now)
                 self.trace_local("decide", view=blk.view,
                                  command=blk.command)
 

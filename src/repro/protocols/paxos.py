@@ -237,6 +237,10 @@ class PaxosProposer(Node):
         if self.max_rounds is not None and self.rounds >= self.max_rounds:
             return
         self.rounds += 1
+        metrics = self.network.metrics
+        if metrics is not None and self.rounds == 1:
+            # Request span: first prepare to this proposer's decision.
+            metrics.start_request("paxos:%s" % self.name, self.sim.now)
         base = max(self.max_seen, self.ballot)
         self.ballot = base.successor(self.name)
         self.phase = "prepare"
@@ -299,6 +303,10 @@ class PaxosProposer(Node):
         self.decided = value
         self.decided_at = self.sim.now
         self.phase = "decided"
+        metrics = self.network.metrics
+        if metrics is not None and metrics.request_open("paxos:%s" % self.name):
+            metrics.finish_request("paxos:%s" % self.name, self.sim.now,
+                                   phases=self.rounds)
         if self._retry_timer is not None:
             self._retry_timer.cancel()
         self.trace.enter(CCPhase.DECISION, self.sim.now)

@@ -678,6 +678,10 @@ class PbftClient(Node):
         self._replies = {}
         self._sent_at = self.sim.now
         self._broadcasted = False
+        metrics = self.network.metrics
+        if metrics is not None:
+            metrics.start_request("pbft:%s-%d" % (self.name, self._next),
+                                  self.sim.now)
         self.send(self.replicas[0], self._current_request())
         self._arm_timer()
 
@@ -704,6 +708,10 @@ class PbftClient(Node):
             key = repr(result)
             matching[key] = matching.get(key, 0) + 1
         if max(matching.values()) >= self.f + 1:
+            metrics = self.network.metrics
+            label = "pbft:%s-%d" % (self.name, self._next)
+            if metrics is not None and metrics.request_open(label):
+                metrics.finish_request(label, self.sim.now)
             self.results.append(self._replies[src])
             self.latencies.append(self.sim.now - self._sent_at)
             self._next += 1

@@ -529,6 +529,10 @@ class RaftClient(Node):
         if self.done:
             return
         request_id = "%s-%d" % (self.name, self._next)
+        metrics = self.network.metrics
+        if metrics is not None and not metrics.request_open("raft:" + request_id):
+            # Span opens on first submission; redirects/retries keep it.
+            metrics.start_request("raft:" + request_id, self.sim.now)
         self.send(self.target, RaftClientRequest(self.commands[self._next], request_id))
         if self._timer is not None:
             self._timer.cancel()
@@ -550,6 +554,9 @@ class RaftClient(Node):
         expected = "%s-%d" % (self.name, self._next)
         if msg.request_id != expected:
             return
+        metrics = self.network.metrics
+        if metrics is not None and metrics.request_open("raft:" + expected):
+            metrics.finish_request("raft:" + expected, self.sim.now)
         self.results.append(msg.result)
         self._next += 1
         if self._timer is not None:

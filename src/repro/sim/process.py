@@ -31,15 +31,22 @@ class Timer:
     def _fire(self):
         if self._cancelled or self._process.crashed:
             return
-        tracer = self._process.sim.tracer
+        sim = self._process.sim
+        tracer = sim.tracer
         if tracer is not None:
             tracer.on_timer(self._process.name)
+        if sim.telemetry is not None:
+            sim._tm_timers_fired.inc()
         if self._repeat:
             self._arm()
         self._callback(*self._args)
 
     def cancel(self):
         """Stop the timer; safe to call repeatedly."""
+        if not self._cancelled:
+            sim = self._process.sim
+            if sim.telemetry is not None:
+                sim._tm_timers_cancelled.inc()
         self._cancelled = True
         if self._event is not None:
             self._event.cancel()

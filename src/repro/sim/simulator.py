@@ -35,11 +35,29 @@ class Simulator:
         #: Optional :class:`~repro.trace.Tracer`; processes consult it for
         #: timer-fire events.  ``None`` keeps timers on the untraced path.
         self.tracer = None
+        #: Optional :class:`~repro.telemetry.MetricsRegistry`, attached
+        #: via :meth:`attach_telemetry`.  ``None`` keeps the event loop
+        #: and timer wheel on the un-instrumented path.
+        self.telemetry = None
         self._queue = EventQueue()
         self._now = 0.0
         self._running = False
         self._events_processed = 0
         self._stop_requested = False
+
+    def attach_telemetry(self, registry):
+        """Record event-loop and timer counters into ``registry``.
+
+        Instrument handles are resolved once here so the event loop's
+        per-event cost stays one ``is not None`` check plus an integer
+        increment.
+        """
+        self.telemetry = registry
+        if registry is not None:
+            self._tm_events = registry.counter("sim_events_dispatched_total")
+            self._tm_timers_fired = registry.counter("sim_timers_fired_total")
+            self._tm_timers_cancelled = registry.counter(
+                "sim_timers_cancelled_total")
 
     @property
     def now(self):
@@ -118,6 +136,8 @@ class Simulator:
                     break
                 self._now = event.time
                 self._events_processed += 1
+                if self.telemetry is not None:
+                    self._tm_events.inc()
                 if self._events_processed > max_events:
                     raise EventLimitExceeded(max_events)
                 try:

@@ -1,0 +1,78 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+The output follows the text-based exposition format (``# TYPE`` lines,
+``name{label="value"} sample`` lines, histogram ``_bucket``/``_sum``/
+``_count`` expansion with a ``+Inf`` bucket) closely enough that a real
+Prometheus or ``promtool`` can scrape a dumped file.  Series are walked
+in the registry's sorted order and label values are rendered with
+escaping, so two same-seed runs produce byte-identical expositions.
+"""
+
+
+def _escape(value):
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels_text(labels, extra=()):
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join('%s="%s"' % (key, _escape(val))
+                    for key, val in sorted(pairs))
+    return "{%s}" % body
+
+
+def _number(value):
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return "%d" % int(value)
+        return repr(value)
+    return "%d" % value
+
+
+def to_prometheus(registry):
+    """Render every series in ``registry`` as Prometheus exposition text.
+
+    Returns a string ending in a newline (or the empty string for an
+    empty registry).
+    """
+    lines = []
+    typed = set()
+    for name, labels, instrument in registry.series():
+        if name not in typed:
+            typed.add(name)
+            lines.append("# TYPE %s %s" % (name, instrument.kind))
+        if instrument.kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(instrument.buckets, instrument.counts):
+                cumulative += count
+                lines.append("%s_bucket%s %d" % (
+                    name, _labels_text(labels, [("le", _number(bound))]),
+                    cumulative,
+                ))
+            cumulative += instrument.counts[-1]
+            lines.append("%s_bucket%s %d" % (
+                name, _labels_text(labels, [("le", "+Inf")]), cumulative))
+            lines.append("%s_sum%s %s" % (name, _labels_text(labels),
+                                          _number(instrument.sum)))
+            lines.append("%s_count%s %d" % (name, _labels_text(labels),
+                                            instrument.count))
+        else:
+            lines.append("%s%s %s" % (name, _labels_text(labels),
+                                      _number(instrument.value)))
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry, path):
+    """Write the exposition to ``path``; returns the series count."""
+    payload = to_prometheus(registry)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(payload)
+    return len(registry)

@@ -1,0 +1,230 @@
+"""The three instrument kinds plus their zero-cost no-op twins.
+
+A :class:`Counter` only goes up, a :class:`Gauge` tracks a level, and a
+:class:`Histogram` buckets observations so quantiles, means and maxima
+can be reported without storing every sample.  Each class has a ``Null*``
+twin whose methods do nothing; :data:`~repro.telemetry.NULL_REGISTRY`
+hands those out so an un-instrumented run pays one attribute load and a
+no-op call at most — the same opt-in contract the tracer follows.
+
+Everything recorded here is derived deterministically from the
+simulation (virtual times, message counts), and nothing touches the
+simulator's RNG or schedules events, so enabling telemetry cannot
+perturb a run and same-seed runs produce identical instrument state.
+"""
+
+import math
+
+#: Default histogram bucket upper bounds, in virtual-time units (message
+#: delays).  Roughly exponential: fine resolution around a handful of
+#: one-way delays (where consensus decisions live), coarse out to the
+#: timeout/view-change regime.
+DEFAULT_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                   256.0, 512.0, 1024.0)
+
+
+class Counter:
+    """Monotonically increasing count (messages sent, events fired)."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError("counters only go up (amount=%r)" % (amount,))
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter(%r)" % (self.value,)
+
+
+class Gauge:
+    """A level that can move both ways (queue depth, open requests)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def dec(self, amount=1):
+        self.value -= amount
+
+    def __repr__(self):
+        return "Gauge(%r)" % (self.value,)
+
+
+class Histogram:
+    """Fixed-bucket distribution with quantile/mean/max summaries.
+
+    Parameters
+    ----------
+    buckets:
+        Ascending upper bounds.  An implicit +inf bucket catches the
+        overflow, so any observation lands somewhere.
+    """
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly ascending")
+        if not bounds:
+            raise ValueError("need at least one bucket bound")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 for the +inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self):
+        if self.count == 0:
+            return None
+        return self.sum / self.count
+
+    def quantile(self, q):
+        """Estimate the ``q``-quantile (0 <= q <= 1) from bucket counts.
+
+        Linear interpolation inside the containing bucket, the standard
+        Prometheus ``histogram_quantile`` estimate.  Returns ``None`` on
+        an empty histogram; the overflow bucket reports its lower bound
+        (there is no upper edge to interpolate toward).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1] (got %r)" % (q,))
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                if index >= len(self.buckets):  # overflow bucket
+                    return self.buckets[-1]
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                upper = self.buckets[index]
+                into = rank - (cumulative - bucket_count)
+                fraction = into / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.buckets[-1]
+
+    def summary(self):
+        """Deterministic plain-dict digest used by reports and rendering."""
+        return {
+            "count": self.count,
+            "sum": _finite(self.sum),
+            "min": self.min,
+            "max": self.max,
+            "mean": _finite(self.mean),
+            "p50": _finite(self.quantile(0.50)),
+            "p90": _finite(self.quantile(0.90)),
+            "p99": _finite(self.quantile(0.99)),
+        }
+
+    def __repr__(self):
+        return "Histogram(count=%d, mean=%s)" % (self.count, self.mean)
+
+
+def _finite(value):
+    """Round float summaries to 9 decimal places.
+
+    Keeps the JSON run report byte-stable against accumulation-order
+    noise while staying far below any resolution the experiments read.
+    """
+    if value is None:
+        return None
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return None
+        return round(value, 9)
+    return value
+
+
+class NullCounter:
+    """Does nothing; shared by every disabled counter."""
+
+    __slots__ = ()
+
+    kind = "counter"
+    value = 0
+
+    def inc(self, amount=1):
+        pass
+
+
+class NullGauge:
+    """Does nothing; shared by every disabled gauge."""
+
+    __slots__ = ()
+
+    kind = "gauge"
+    value = 0
+
+    def set(self, value):
+        pass
+
+    def inc(self, amount=1):
+        pass
+
+    def dec(self, amount=1):
+        pass
+
+
+class NullHistogram:
+    """Does nothing; shared by every disabled histogram."""
+
+    __slots__ = ()
+
+    kind = "histogram"
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    mean = None
+
+    def observe(self, value):
+        pass
+
+    def quantile(self, q):
+        return None
+
+    def summary(self):
+        return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                "mean": None, "p50": None, "p90": None, "p99": None}
+
+
+#: Shared no-op instances — instruments carry no identity, so one of
+#: each serves every disabled call site.
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()

@@ -1,0 +1,139 @@
+"""The :class:`MetricsRegistry`: labeled instruments behind one lookup.
+
+A *series* is an instrument name plus a sorted tuple of ``(label,
+value)`` pairs — ``net_messages_total{mtype="prepare", protocol=
+"paxos"}`` — exactly the Prometheus data model, scaled down to a
+single-process simulator.  The registry interns one instrument per
+series; asking again with the same name and labels returns the same
+object, so hot paths may cache the handle or re-look it up, whichever
+reads better.
+
+:class:`NullRegistry` is the disabled twin: every request returns the
+shared no-op instrument, allocations and bookkeeping included — zero
+cost beyond the call itself.  Components hold either a real registry or
+``None`` and guard with ``if telemetry is not None``, mirroring the
+tracer's opt-in design.
+"""
+
+from .instruments import (
+    DEFAULT_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+)
+
+
+class MetricsRegistry:
+    """Home of every labeled instrument recorded during one run."""
+
+    def __init__(self):
+        self._series = {}
+
+    # -- instrument lookup/creation ----------------------------------------
+
+    def _get(self, name, labels, factory):
+        key = (name, tuple(sorted(labels.items())))
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._series[key] = instrument
+        return instrument
+
+    def counter(self, name, **labels):
+        """The counter for ``name`` + ``labels``, created on first use."""
+        return self._get(name, labels, Counter)
+
+    def gauge(self, name, **labels):
+        """The gauge for ``name`` + ``labels``, created on first use."""
+        return self._get(name, labels, Gauge)
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS, **labels):
+        """The histogram for ``name`` + ``labels``, created on first use.
+
+        ``buckets`` only applies on creation; later lookups return the
+        existing instrument regardless.
+        """
+        return self._get(name, labels, lambda: Histogram(buckets))
+
+    # -- introspection -----------------------------------------------------
+
+    def series(self):
+        """All ``(name, labels, instrument)`` triples, sorted by name then
+        labels — the deterministic order every exporter walks."""
+        return [
+            (name, labels, instrument)
+            for (name, labels), instrument in sorted(
+                self._series.items(), key=lambda item: item[0]
+            )
+        ]
+
+    def get(self, name, **labels):
+        """The instrument for an existing series, or ``None``."""
+        return self._series.get((name, tuple(sorted(labels.items()))))
+
+    def value(self, name, **labels):
+        """Convenience: the counter/gauge value for a series (0 when the
+        series was never recorded)."""
+        instrument = self.get(name, **labels)
+        return 0 if instrument is None else instrument.value
+
+    def total(self, name):
+        """Sum of ``value`` across every series of ``name`` (counters and
+        gauges)."""
+        return sum(
+            instrument.value
+            for (series_name, _labels), instrument in self._series.items()
+            if series_name == name and instrument.kind != "histogram"
+        )
+
+    def names(self):
+        """Distinct instrument names, sorted."""
+        return sorted({name for name, _labels in self._series})
+
+    def __len__(self):
+        return len(self._series)
+
+    def __repr__(self):
+        return "MetricsRegistry(%d series)" % len(self._series)
+
+
+class NullRegistry:
+    """Disabled registry: hands out shared no-op instruments."""
+
+    def counter(self, name, **labels):
+        return NULL_COUNTER
+
+    def gauge(self, name, **labels):
+        return NULL_GAUGE
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS, **labels):
+        return NULL_HISTOGRAM
+
+    def series(self):
+        return []
+
+    def get(self, name, **labels):
+        return None
+
+    def value(self, name, **labels):
+        return 0
+
+    def total(self, name):
+        return 0
+
+    def names(self):
+        return []
+
+    def __len__(self):
+        return 0
+
+    def __repr__(self):
+        return "NullRegistry()"
+
+
+#: Shared disabled registry — the default collaborator wherever telemetry
+#: was not explicitly enabled.
+NULL_REGISTRY = NullRegistry()

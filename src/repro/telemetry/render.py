@@ -1,0 +1,96 @@
+"""ASCII rendering of a registry: counter tables and histogram bars.
+
+The human half of the output story (the JSON run report is the machine
+half): ``python -m repro stats`` prints this.  Counters are grouped by
+instrument name with per-series breakdowns; histograms get a
+count/mean/quantile digest plus a bucket bar chart.  Output depends
+only on registry state, so it is as deterministic as the run itself.
+"""
+
+#: Bar width of the fullest histogram bucket, in characters.
+BAR_WIDTH = 28
+
+#: Max label breakdown rows shown per counter/gauge name.
+MAX_SERIES_ROWS = 10
+
+
+def _labels_key(labels):
+    return " ".join("%s=%s" % (key, value) for key, value in sorted(labels))
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def render_histogram(instrument, width=BAR_WIDTH):
+    """Bucket bar chart for one histogram, as a list of lines."""
+    lines = []
+    bounds = ["<=%g" % bound for bound in instrument.buckets] + ["+Inf"]
+    counts = list(instrument.counts)
+    # Trim trailing empty buckets (keeping at least one row).
+    last = max((i for i, c in enumerate(counts) if c), default=0)
+    bounds, counts = bounds[:last + 1], counts[:last + 1]
+    label_width = max(len(b) for b in bounds)
+    peak = max(counts) or 1
+    for bound, count in zip(bounds, counts):
+        bar = "#" * int(round(width * count / peak)) if count else ""
+        lines.append("    %-*s |%-*s| %d" % (label_width, bound,
+                                             width, bar, count))
+    return lines
+
+
+def render_summary(registry, title=None):
+    """Render every series in ``registry`` as an ASCII report string."""
+    scalar_by_name = {}
+    histograms = []
+    for name, labels, instrument in registry.series():
+        if instrument.kind == "histogram":
+            histograms.append((name, labels, instrument))
+        else:
+            scalar_by_name.setdefault(name, []).append((labels, instrument))
+
+    lines = []
+    if title:
+        lines.append("== %s ==" % title)
+        lines.append("")
+
+    if scalar_by_name:
+        lines.append("counters/gauges")
+        for name in sorted(scalar_by_name):
+            series = scalar_by_name[name]
+            total = sum(instrument.value for _labels, instrument in series)
+            lines.append("  %-44s %10s" % (name, _fmt(total)))
+            labelled = [(labels, inst) for labels, inst in series if labels]
+            ranked = sorted(labelled,
+                            key=lambda item: (-item[1].value,
+                                              _labels_key(item[0])))
+            for labels, instrument in ranked[:MAX_SERIES_ROWS]:
+                lines.append("    %-42s %10s" % (_labels_key(labels),
+                                                 _fmt(instrument.value)))
+            hidden = len(ranked) - MAX_SERIES_ROWS
+            if hidden > 0:
+                lines.append("    ... (+%d more series)" % hidden)
+        lines.append("")
+
+    if histograms:
+        lines.append("histograms")
+        for name, labels, instrument in histograms:
+            suffix = "{%s}" % _labels_key(labels) if labels else ""
+            lines.append("  %s%s" % (name, suffix))
+            digest = instrument.summary()
+            lines.append(
+                "    count=%s sum=%s mean=%s p50=%s p90=%s p99=%s max=%s"
+                % tuple(_fmt(digest[key]) for key in
+                        ("count", "sum", "mean", "p50", "p90", "p99", "max"))
+            )
+            if instrument.count:
+                lines.extend(render_histogram(instrument))
+        lines.append("")
+
+    if not scalar_by_name and not histograms:
+        lines.append("(no telemetry series recorded)")
+    return "\n".join(lines).rstrip("\n")

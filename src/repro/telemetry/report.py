@@ -1,0 +1,78 @@
+"""Deterministic JSON "run report" — the machine-readable run artifact.
+
+One JSON document per run: the flat collector snapshot plus every
+registry series (counters/gauges by value, histograms by summary and
+bucket counts).  Like the trace JSONL, the format is deliberately
+boring — sorted keys, compact separators, ``\\n`` ending — and every
+number derives deterministically from the simulation, so two same-seed
+runs serialise to *byte-identical* output.  That is what the CI
+determinism gate diffs and what a perf-trend dashboard can ingest.
+"""
+
+import json
+
+from .instruments import _finite
+
+
+def series_to_dict(name, labels, instrument):
+    """Plain-dict form of one registry series."""
+    entry = {
+        "name": name,
+        "labels": {key: str(value) for key, value in labels},
+        "kind": instrument.kind,
+    }
+    if instrument.kind == "histogram":
+        entry["summary"] = instrument.summary()
+        entry["buckets"] = [
+            {"le": bound, "count": count}
+            for bound, count in zip(instrument.buckets, instrument.counts)
+        ] + [{"le": "+Inf", "count": instrument.counts[-1]}]
+    else:
+        entry["value"] = _finite(instrument.value)
+    return entry
+
+
+def run_report(registry, collector=None, protocol="", seed=None,
+               virtual_time=None, extra=None):
+    """Assemble the full run report as a plain dict.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.telemetry.MetricsRegistry` recorded during
+        the run.
+    collector:
+        Optional :class:`~repro.metrics.MetricsCollector`; its
+        ``snapshot()`` becomes the report's ``summary`` block.
+    protocol / seed / virtual_time:
+        Run identity, echoed into the report header.
+    extra:
+        Optional dict of caller-supplied headline numbers.
+    """
+    report = {
+        "schema": "repro.telemetry.run_report/1",
+        "protocol": str(protocol),
+        "seed": seed,
+        "virtual_time": _finite(virtual_time),
+        "series": [series_to_dict(name, labels, instrument)
+                   for name, labels, instrument in registry.series()],
+    }
+    if collector is not None:
+        report["summary"] = collector.snapshot()
+    if extra:
+        report["extra"] = dict(extra)
+    return report
+
+
+def report_to_json(report):
+    """Serialise a report dict to its canonical byte-stable JSON string."""
+    return json.dumps(report, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def write_report(report, path):
+    """Write the canonical JSON to ``path``; returns the series count."""
+    payload = report_to_json(report)
+    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+        handle.write(payload)
+    return len(report.get("series", ()))

@@ -48,6 +48,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert "paxos" in out and "pbft" in out
 
+    def test_experiments_hints_when_artifacts_missing(self, tmp_path,
+                                                      monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["experiments"]) == 1
+        out = capsys.readouterr().out
+        assert "missing" in out
+        assert "test_bench_paxos.py" in out
+        assert "pytest benchmarks/" in out
+
     def test_run_help_mentions_trace(self, capsys):
         with pytest.raises(SystemExit):
             main(["--help"])

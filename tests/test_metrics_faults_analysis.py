@@ -44,6 +44,31 @@ class TestComplexityFitting:
         with pytest.raises(ValueError):
             fit_order([(4, 0), (8, 10)])
 
+    def test_classify_boundary_inclusive(self):
+        # tolerance=0.5 is inclusive: exactly halfway still buckets low.
+        assert classify_order(1.5) == "O(N)"
+        assert classify_order(2.5) == "O(N^2)"
+        assert classify_order(3.5) == "O(N^3)"
+        assert classify_order(0.5) == "O(N)"
+
+    def test_classify_just_past_boundary_is_formatted(self):
+        assert classify_order(3.51) == "O(N^3.5)"
+        assert classify_order(0.49) == "O(N^0.5)"
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            fit_order([(4, -3), (8, 10)])
+        with pytest.raises(ValueError):
+            fit_order([(-4, 3), (8, 10)])
+
+    def test_rejects_zero_n(self):
+        with pytest.raises(ValueError):
+            fit_order([(0, 3), (8, 10)])
+
+    def test_perfect_quadratic_fit_is_exact(self):
+        samples = [(n, 7 * n * n) for n in (3, 5, 9, 17, 33)]
+        assert abs(fit_order(samples) - 2.0) < 1e-9
+
 
 class TestMetricsCollector:
     def test_request_latency_tracking(self):

@@ -1,0 +1,63 @@
+"""Tests for ``python -m repro stats``: rendering, exports, and the
+byte-identical determinism contract the CI smoke job relies on."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestStatsCli:
+    def test_stats_renders_registry(self, capsys):
+        assert main(["stats", "paxos", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "net_messages_total" in out
+        assert "phase_marks_total" in out
+        assert "request_latency{protocol=paxos}" in out
+        assert "telemetry:" in out and "series" in out
+
+    def test_stats_unknown_protocol(self, capsys):
+        assert main(["stats", "carrier-pigeon"]) == 1
+        assert "unknown" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("protocol", ["paxos", "raft", "pbft",
+                                          "hotstuff"])
+    def test_stats_json_byte_identical(self, protocol, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(["stats", protocol, "--seed", "2",
+                         "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        parsed = json.loads(paths[0].read_text())
+        assert parsed["schema"] == "repro.telemetry.run_report/1"
+        assert parsed["protocol"] == protocol
+        assert parsed["seed"] == 2
+        assert parsed["series"]
+        assert parsed["summary"]["messages_total"] > 0
+
+    def test_stats_prometheus_export(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(["stats", "paxos", "--seed", "1",
+                     "--prom", str(path)]) == 0
+        capsys.readouterr()
+        text = path.read_text()
+        assert "# TYPE net_messages_total counter" in text
+        assert "# TYPE request_latency histogram" in text
+        assert 'request_latency_bucket{le="+Inf",protocol="paxos"}' in text
+        assert "request_latency_count" in text
+
+    def test_stats_json_differs_across_seeds(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["stats", "paxos", "--seed", "1", "--json", str(a)]) == 0
+        assert main(["stats", "paxos", "--seed", "4", "--json", str(b)]) == 0
+        capsys.readouterr()
+        assert json.loads(a.read_text())["seed"] == 1
+        assert json.loads(b.read_text())["seed"] == 4
+
+    def test_stats_histogram_bars_render(self, capsys):
+        assert main(["stats", "pbft", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "histograms" in out
+        assert "<=" in out and "|" in out
