@@ -10,6 +10,7 @@ Commands:
   counters and latency histograms rendered as ASCII, optionally
   exported as a deterministic JSON run report and/or a Prometheus
   text exposition.
+* ``profile`` — cProfile one run and print the hottest call sites.
 * ``kv`` — interactive-ish replicated-KV demo (scripted operations).
 * ``mine`` — a short PoW mining-network run with fork statistics.
 * ``table`` — the measured-vs-paper comparison table (E1, abridged).
@@ -232,6 +233,35 @@ def cmd_stats(args):
     return 0
 
 
+def cmd_profile(args):
+    """cProfile one protocol run and print the hottest call sites.
+
+    The profiler's per-call overhead distorts small functions (the exact
+    ones the hot paths optimise), so treat the output as a *map* of where
+    time goes, not a benchmark — wall-clock A/B runs are the verdict.
+    """
+    import cProfile
+    import pstats
+
+    runner = _RUNNERS.get(args.protocol)
+    if runner is None:
+        print("unknown or non-runnable protocol %r; choices: %s"
+              % (args.protocol, ", ".join(sorted(_RUNNERS))))
+        return 1
+    cluster = Cluster(seed=args.seed, telemetry=args.telemetry)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    summary = runner(cluster)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print("%s: %s" % (args.protocol, summary))
+    print("profiled: %d events | %d messages | virtual time: %.1f"
+          % (cluster.sim.events_processed, cluster.metrics.messages_total,
+             cluster.now))
+    return 0
+
+
 def cmd_kv(args):
     from .smr import ReplicatedKV
     kv = ReplicatedKV(n_replicas=args.replicas, protocol=args.protocol,
@@ -311,6 +341,18 @@ def main(argv=None):
                                    "(same-seed byte-identical)")
     stats_parser.add_argument("--prom", metavar="PATH", default=None,
                               help="also export a Prometheus text exposition")
+    profile_parser = sub.add_parser(
+        "profile",
+        help="cProfile one protocol run and print the top cumulative "
+             "call sites (a map of where time goes; wall-clock A/B runs "
+             "are the benchmark)")
+    profile_parser.add_argument("protocol", help="e.g. paxos, pbft, hotstuff")
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument("--top", type=int, default=25,
+                                help="rows of profile output (default 25)")
+    profile_parser.add_argument("--telemetry", action="store_true",
+                                help="profile with telemetry enabled (the "
+                                     "instrumented hot path)")
     kv_parser = sub.add_parser("kv", help="replicated-KV demo")
     kv_parser.add_argument("--protocol", default="multi-paxos",
                            choices=("multi-paxos", "raft", "pbft"))
@@ -328,6 +370,7 @@ def main(argv=None):
         "run": cmd_run,
         "trace": cmd_trace,
         "stats": cmd_stats,
+        "profile": cmd_profile,
         "kv": cmd_kv,
         "mine": cmd_mine,
     }[args.command]

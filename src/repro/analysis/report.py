@@ -142,6 +142,12 @@ EXPERIMENT_NOTES = {
             "BFT pays 3f+1 replicas, with Zyzzyva's speculation cheapest in\n"
             "latency, PBFT quadratic in messages, and HotStuff trading latency\n"
             "(7 phases) for linearity."),
+    "E23": ("Simulator throughput (harness)",
+            "Not a paper figure: wall-clock events/sec and messages/sec the\n"
+            "simulation substrate sustains with telemetry enabled, across\n"
+            "protocols and cluster sizes. Recorded so hot-path regressions are\n"
+            "visible in the bench trajectory; rates are machine-dependent and\n"
+            "not asserted."),
     "E20": ("Circumventing FLP (the oracle)",
             "Paper: 'adding oracle (failure detector)'. Measured: Chandra-Toueg\n"
             "rotating-coordinator consensus decides in 12/12 runs with a heartbeat\n"
@@ -176,6 +182,7 @@ EXPERIMENT_BENCHES = {
     "E20": "test_bench_failure_detector.py",
     "E21": "test_bench_price_of_tolerance.py",
     "E22": "test_bench_optimistic.py",
+    "E23": "test_bench_throughput.py",
 }
 
 

@@ -21,6 +21,16 @@ class Node(Process):
         Unique node name.
     """
 
+    #: Per-class ``mtype -> handler function`` memo, filled lazily by
+    #: :meth:`deliver`.  Each subclass gets its own dict (stamped in
+    #: ``__init_subclass__``) so overridden handlers never leak between
+    #: sibling behaviours (honest vs Byzantine replicas).
+    _dispatch = {}
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        cls._dispatch = {}
+
     def __init__(self, sim, network, name):
         super().__init__(sim, name)
         self.network = network
@@ -60,14 +70,29 @@ class Node(Process):
     def deliver(self, message, src):
         """Entry point called by the network.  Dispatches to
         ``handle_<mtype>``; unknown types fall through to
-        :meth:`on_unhandled`."""
+        :meth:`on_unhandled`.
+
+        Handler resolution is cached per node *class*: the first message
+        of each ``mtype`` pays one ``getattr``, every later one is a dict
+        hit.  Handlers are therefore part of the class contract —
+        attaching one to an individual instance after its class has seen
+        that ``mtype`` would not be picked up.
+        """
         if self.crashed:
             return
-        handler = getattr(self, "handle_%s" % message.mtype, None)
+        # ``self._dispatch`` resolves to this class's own cache dict —
+        # every subclass gets one stamped in ``__init_subclass__``.
+        cache = self._dispatch
+        mtype = message.mtype
+        try:
+            handler = cache[mtype]
+        except KeyError:
+            handler = getattr(type(self), "handle_" + mtype, None)
+            cache[mtype] = handler
         if handler is None:
             self.on_unhandled(message, src)
         else:
-            handler(message, src)
+            handler(self, message, src)
 
     def on_unhandled(self, message, src):
         """Hook for messages with no matching handler.  Default: ignore —

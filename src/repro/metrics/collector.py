@@ -73,12 +73,21 @@ class MetricsCollector:
     #: Per-protocol (phase, time) of the most recent mark, for phase
     #: latency deltas.
     _phase_cursor: dict = field(default_factory=dict)
+    #: Pre-resolved registry handles: label sets repeat run-long, so each
+    #: is sorted/hashed once and the marks pay a dict hit plus a call.
+    _mark_handles: dict = field(default_factory=dict)
+    _latency_handles: dict = field(default_factory=dict)
+    _request_handles: dict = field(default_factory=dict)
 
     # -- fed by the network --------------------------------------------
 
-    def record_message(self, src, dst, message):
+    def record_message(self, src, dst, message, size=None):
+        """Count one sent message.  ``size`` lets the transport share a
+        single ``size_estimate()`` between the collector and the
+        telemetry byte counters instead of costing the fields twice."""
         self.messages_total += 1
-        self.bytes_total += message.size_estimate()
+        self.bytes_total += size if size is not None else \
+            message.size_estimate()
         self.by_type[message.mtype] += 1
         self.by_sender[src] += 1
         self.by_link[(src, dst)] += 1
@@ -88,16 +97,27 @@ class MetricsCollector:
     def mark_phase(self, protocol, phase, now):
         """Record that ``protocol`` entered communication phase ``phase``."""
         self.phase_marks.append((protocol, phase, now))
-        if self.registry is not None:
-            self.registry.counter("phase_marks_total", protocol=str(protocol),
-                                  phase=str(phase)).inc()
+        registry = self.registry
+        if registry is not None:
+            key = (protocol, phase)
+            inc = self._mark_handles.get(key)
+            if inc is None:
+                inc = registry.handle(
+                    "counter", "phase_marks_total", protocol=str(protocol),
+                    phase=str(phase)).inc
+                self._mark_handles[key] = inc
+            inc()
             previous = self._phase_cursor.get(protocol)
             if previous is not None:
                 prev_phase, prev_time = previous
-                self.registry.histogram(
-                    "phase_latency", protocol=str(protocol),
-                    phase=str(prev_phase),
-                ).observe(now - prev_time)
+                prev_key = (protocol, prev_phase)
+                observe = self._latency_handles.get(prev_key)
+                if observe is None:
+                    observe = registry.handle(
+                        "histogram", "phase_latency", protocol=str(protocol),
+                        phase=str(prev_phase)).observe
+                    self._latency_handles[prev_key] = observe
+                observe(now - prev_time)
             self._phase_cursor[protocol] = (phase, now)
         if self.tracer is not None:
             self.tracer.on_phase(protocol, phase)
@@ -114,12 +134,24 @@ class MetricsCollector:
         record = LatencyRecord(label, now)
         self._open_requests[label] = record
         if self.registry is not None:
-            self.registry.counter(
-                "requests_started_total",
-                protocol=_protocol_from_label(label)).inc()
+            self._request_handle("requests_started_total",
+                                 _protocol_from_label(label))()
         if self.tracer is not None:
             self.tracer.on_request(label, "start")
         return record
+
+    def _request_handle(self, name, protocol):
+        """Cached bound ``inc``/``observe`` for a per-protocol request
+        series (created on first use)."""
+        key = (name, protocol)
+        handle = self._request_handles.get(key)
+        if handle is None:
+            kind = "histogram" if name == "request_latency" else "counter"
+            instrument = self.registry.handle(kind, name, protocol=protocol)
+            handle = instrument.observe if kind == "histogram" \
+                else instrument.inc
+            self._request_handles[key] = handle
+        return handle
 
     def request_open(self, label):
         """True while ``label`` has been started but not finished."""
@@ -137,14 +169,11 @@ class MetricsCollector:
         if self.registry is not None:
             protocol = _protocol_from_label(label)
             if record.unmatched:
-                self.registry.counter("requests_unmatched_total",
-                                      protocol=protocol).inc()
+                self._request_handle("requests_unmatched_total", protocol)()
             else:
-                self.registry.counter("requests_finished_total",
-                                      protocol=protocol).inc()
-                self.registry.histogram("request_latency",
-                                        protocol=protocol
-                                        ).observe(record.latency)
+                self._request_handle("requests_finished_total", protocol)()
+                self._request_handle("request_latency",
+                                     protocol)(record.latency)
         if self.tracer is not None:
             self.tracer.on_request(label, "end")
         return record

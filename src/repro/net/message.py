@@ -3,9 +3,15 @@
 Protocols define their own message dataclasses; the only contract the
 transport needs is :class:`Message`'s ``mtype`` (used for handler
 dispatch) and a rough ``size_estimate`` (used for byte accounting).
+
+Both are served from per-class caches: ``mtype`` is stamped onto each
+subclass at class-definition time, and the field plan behind
+``size_estimate`` is computed once per class on first use — the send
+path never re-derives either per message.
 """
 
 from dataclasses import dataclass, fields
+from operator import attrgetter
 
 
 class Message:
@@ -13,24 +19,58 @@ class Message:
 
     Subclasses are typically ``@dataclass``-decorated.  ``mtype`` defaults
     to the lower-cased class name, which the node base class uses to
-    dispatch to ``handle_<mtype>`` methods.
+    dispatch to ``handle_<mtype>`` methods; it is computed once when the
+    subclass is defined (a subclass may still pin its own ``mtype`` class
+    attribute explicitly).
     """
 
-    @property
-    def mtype(self):
-        return type(self).__name__.lower()
+    mtype = "message"
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        if "mtype" not in cls.__dict__:
+            cls.mtype = cls.__name__.lower()
 
     def size_estimate(self):
         """Approximate wire size in bytes, for message-complexity metrics.
 
         A crude per-field costing is plenty: the experiments compare
-        *orders* of traffic (O(N) vs O(N²)), not absolute bytes.
+        *orders* of traffic (O(N) vs O(N²)), not absolute bytes.  The
+        field-name plan is resolved once per class (``dataclasses.fields``
+        is far too slow to walk per message); only the per-field value
+        costing runs per call.
         """
+        cls = type(self)
+        plan = cls.__dict__.get("_size_plan")
+        if plan is None:
+            names = tuple(f.name for f in fields(self))
+            # attrgetter fetches every field in one C call; a 1-field
+            # getter returns a bare value, so wrap to keep a tuple.
+            if len(names) == 1:
+                single = attrgetter(names[0])
+                plan = lambda msg: (single(msg),)  # noqa: E731
+            elif names:
+                plan = attrgetter(*names)
+            else:
+                plan = lambda msg: ()  # noqa: E731
+            cls._size_plan = plan
         total = 16  # header
-        for field in fields(self):
-            value = getattr(self, field.name)
-            total += _field_size(value)
+        scalar_sizes = _SCALAR_SIZES
+        for value in plan(self):
+            value_cls = value.__class__
+            size = scalar_sizes.get(value_cls)
+            if size is not None:
+                total += size
+            elif value_cls is str or value_cls is bytes:
+                total += len(value)
+            else:
+                total += _field_size(value)
         return total
+
+
+#: Per-class memo for :func:`protocol_of` — one ``rsplit`` per message
+#: *class* instead of one per send.
+_PROTOCOL_OF = {}
 
 
 def protocol_of(message):
@@ -41,7 +81,24 @@ def protocol_of(message):
     protocol's whole vocabulary under one label; shared/base messages
     land under their defining module (e.g. ``message``).
     """
-    return type(message).__module__.rsplit(".", 1)[-1]
+    cls = type(message)
+    protocol = _PROTOCOL_OF.get(cls)
+    if protocol is None:
+        protocol = cls.__module__.rsplit(".", 1)[-1]
+        _PROTOCOL_OF[cls] = protocol
+    return protocol
+
+
+#: Exact-type size shortcut for the overwhelmingly common field types —
+#: one dict hit instead of an ``isinstance`` ladder.  Exact-type lookup
+#: keeps ``bool`` (a subclass of ``int``) on its own entry; subclasses of
+#: these types fall through to :func:`_field_size`.
+_SCALAR_SIZES = {
+    type(None): 1,
+    bool: 1,
+    int: 8,
+    float: 8,
+}
 
 
 def _field_size(value):

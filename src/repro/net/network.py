@@ -6,8 +6,16 @@ and gives fault injectors an interception point for adversarial message
 manipulation (drop / delay / duplicate — Byzantine *content* corruption
 lives in the Byzantine node behaviours, since honest transports don't
 rewrite payloads).
+
+The send path is the hottest loop in the library — quadratic-traffic
+protocols (PBFT) push tens of thousands of messages per run — so its
+telemetry is served from pre-resolved counter handles cached per
+``(message class, src, dst)`` link, and the common case (no tracer, no
+interceptors, no partition) takes a short branch straight to the
+delivery model.
 """
 
+from ..sim.errors import ClockError
 from .delivery import DeliveryModel, UniformDelayModel
 from .message import protocol_of
 from .partitions import PartitionManager
@@ -47,6 +55,18 @@ class Network:
         self.partitions = PartitionManager()
         self._nodes = {}
         self._interceptors = []
+        # Membership tuples handed out by :attr:`node_names`/:attr:`nodes`,
+        # rebuilt on :meth:`register` — protocol loops read them per
+        # broadcast, so they must not allocate per access.
+        self._names_cache = None
+        self._nodes_cache = None
+        # Pre-resolved telemetry counter handles, keyed per (message
+        # class, src, dst) link and per drop/receive label set.  Resolving
+        # a handle sorts and hashes the label dict; these memos make every
+        # later send on the same link three plain ``inc`` calls.
+        self._link_handles = {}
+        self._drop_handles = {}
+        self._recv_handles = {}
 
     # -- membership --------------------------------------------------------
 
@@ -55,6 +75,8 @@ class Network:
         if node.name in self._nodes:
             raise ValueError("duplicate node name %r" % (node.name,))
         self._nodes[node.name] = node
+        self._names_cache = None
+        self._nodes_cache = None
 
     def node(self, name):
         """Look up a registered node by name."""
@@ -62,13 +84,21 @@ class Network:
 
     @property
     def node_names(self):
-        """Registered node names, in registration order."""
-        return list(self._nodes)
+        """Registered node names, in registration order (immutable tuple,
+        cached between registrations)."""
+        names = self._names_cache
+        if names is None:
+            names = self._names_cache = tuple(self._nodes)
+        return names
 
     @property
     def nodes(self):
-        """Registered node objects, in registration order."""
-        return list(self._nodes.values())
+        """Registered node objects, in registration order (immutable
+        tuple, cached between registrations)."""
+        nodes = self._nodes_cache
+        if nodes is None:
+            nodes = self._nodes_cache = tuple(self._nodes.values())
+        return nodes
 
     # -- interception ------------------------------------------------------
 
@@ -86,27 +116,71 @@ class Network:
 
     # -- sending -----------------------------------------------------------
 
-    def send(self, src, dst, message):
+    def send(self, src, dst, message, _size=None):
         """Send ``message`` from node named ``src`` to node named ``dst``.
 
         Returns ``True`` if the message was put in flight (it may still be
         dropped by the delivery model), ``False`` if suppressed outright.
+        ``_size`` lets :meth:`broadcast`/:meth:`multicast` cost the shared
+        payload once instead of once per destination.
         """
         if dst not in self._nodes:
             raise KeyError("unknown destination %r" % (dst,))
-        if self.metrics is not None:
-            self.metrics.record_message(src, dst, message)
+        size = _size
+        metrics = self.metrics
+        if metrics is not None:
+            if size is None:
+                size = message.size_estimate()
+            metrics.record_message(src, dst, message, size=size)
         telemetry = self.telemetry
         if telemetry is not None:
-            proto = protocol_of(message)
-            link = "%s->%s" % (src, dst)
-            telemetry.counter("net_messages_total", protocol=proto,
-                              mtype=message.mtype, link=link).inc()
-            telemetry.counter("net_bytes_total", protocol=proto,
-                              mtype=message.mtype,
-                              link=link).inc(message.size_estimate())
-            telemetry.counter("node_sent_total", node=src).inc()
+            key = (message.__class__, src, dst)
+            handles = self._link_handles.get(key)
+            if handles is None:
+                link = "%s->%s" % (src, dst)
+                proto = protocol_of(message)
+                mtype = message.mtype
+                handles = (
+                    telemetry.handle("counter", "net_messages_total",
+                                     protocol=proto, mtype=mtype,
+                                     link=link),
+                    telemetry.handle("counter", "net_bytes_total",
+                                     protocol=proto, mtype=mtype,
+                                     link=link),
+                    telemetry.handle("counter", "node_sent_total",
+                                     node=src),
+                )
+                self._link_handles[key] = handles
+            if size is None:
+                size = message.size_estimate()
+            # Direct slot stores, not ``inc()`` calls: the amounts are
+            # non-negative by construction, so the counter's guard (and
+            # the call frame) buys nothing here.
+            handles[0].value += 1
+            handles[1].value += size
+            handles[2].value += 1
         tracer = self.tracer
+        # ``partitions._group_of is None`` is the PartitionManager.active
+        # check without the property-call overhead — this test runs once
+        # per message.
+        if tracer is None and not self._interceptors \
+                and self.partitions._group_of is None:
+            # Fast branch: nothing can suppress the send, so go straight
+            # to the delivery model and schedule the delivery inline
+            # (bypassing Simulator.schedule's call frame).  Identical
+            # observable behaviour (and RNG draw order) to the general
+            # path below.
+            sim = self.sim
+            delay = self.delivery.delay(sim.rng, src, dst, sim.now)
+            if delay is DeliveryModel.DROP:
+                self._count_drop(message, "lost")
+                return False
+            if delay < 0:
+                raise ClockError(
+                    "cannot schedule in the past (delay=%r)" % (delay,))
+            sim._queue.push(sim._now + delay, self._deliver,
+                            (src, dst, message))
+            return True
         token = tracer.on_send(src, dst, message) if tracer is not None else None
         for interceptor in self._interceptors:
             if interceptor(src, dst, message) is False:
@@ -139,36 +213,64 @@ class Network:
         messages), so each samples its own delay and counts as one message.
         """
         sent = 0
+        size = self._shared_size(message)
         for name in self._nodes:
             if name == src and not include_self:
                 continue
-            if self.send(src, name, message):
+            if self.send(src, name, message, _size=size):
                 sent += 1
         return sent
 
     def multicast(self, src, dsts, message):
         """Unicast ``message`` to each destination in ``dsts``."""
         sent = 0
+        size = self._shared_size(message)
         for dst in dsts:
-            if self.send(src, dst, message):
+            if self.send(src, dst, message, _size=size):
                 sent += 1
         return sent
 
+    def _shared_size(self, message):
+        """Cost a fan-out payload once: every copy of a broadcast carries
+        the same bytes, so the per-field walk need not repeat per
+        destination.  ``None`` when nothing consumes sizes."""
+        if self.metrics is not None or self.telemetry is not None:
+            return message.size_estimate()
+        return None
+
     def _count_drop(self, message, reason):
         if self.telemetry is not None:
-            self.telemetry.counter("net_drops_total", reason=reason,
-                                   mtype=message.mtype).inc()
+            key = (message.__class__, reason)
+            inc = self._drop_handles.get(key)
+            if inc is None:
+                inc = self.telemetry.handle(
+                    "counter", "net_drops_total", reason=reason,
+                    mtype=message.mtype).inc
+                self._drop_handles[key] = inc
+            inc()
 
     def _count_receive(self, dst):
         if self.telemetry is not None:
-            self.telemetry.counter("node_received_total", node=dst).inc()
+            counter = self._recv_handles.get(dst)
+            if counter is None:
+                counter = self.telemetry.handle(
+                    "counter", "node_received_total", node=dst)
+                self._recv_handles[dst] = counter
+            counter.value += 1
 
     def _deliver(self, src, dst, message):
         node = self._nodes.get(dst)
         if node is None or node.crashed:
             self._count_drop(message, "crashed")
             return
-        self._count_receive(dst)
+        # _count_receive inlined: this runs once per delivered message.
+        if self.telemetry is not None:
+            counter = self._recv_handles.get(dst)
+            if counter is None:
+                counter = self.telemetry.handle(
+                    "counter", "node_received_total", node=dst)
+                self._recv_handles[dst] = counter
+            counter.value += 1
         node.deliver(message, src)
 
     def _deliver_traced(self, src, dst, message, token):

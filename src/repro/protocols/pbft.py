@@ -186,6 +186,9 @@ class PbftReplica(Node):
         self.f = f
         self.quorum = 2 * f + 1
         self.index = self.peers.index(name)
+        #: Every peer but ourselves, in ``peers`` order — the fan-out
+        #: list the hot phase loops multicast to.
+        self.other_peers = [p for p in self.peers if p != name]
         if state_machine_factory is None:
             from .multipaxos import ListStateMachine
             state_machine_factory = ListStateMachine
@@ -259,9 +262,7 @@ class PbftReplica(Node):
             self.network.metrics.mark_phase("pbft", "pre-prepare", self.sim.now)
         message = PrePrepare(self.view, seq, digest, request)
         self._accept_pre_prepare(message)
-        for peer in self.peers:
-            if peer != self.name:
-                self.send(peer, message)
+        self.multicast(self.other_peers, message)
 
     # -- phase 1: pre-prepare ---------------------------------------------------
 
@@ -291,9 +292,7 @@ class PbftReplica(Node):
             self.network.metrics.mark_phase("pbft", "prepare", self.sim.now)
         prepare = PbftPrepare(msg.view, msg.seq, msg.digest)
         self._record_prepare(msg.seq, msg.digest, self.name)
-        for peer in self.peers:
-            if peer != self.name:
-                self.send(peer, prepare)
+        self.multicast(self.other_peers, prepare)
 
     def _accept_pre_prepare(self, msg):
         slot = self.slots.setdefault(msg.seq, _SlotState())
@@ -346,9 +345,7 @@ class PbftReplica(Node):
                 self.network.metrics.mark_phase("pbft", "commit", self.sim.now)
             commit = PbftCommit(self.view, seq, slot.digest)
             self._record_commit(seq, slot.digest, self.name)
-            for peer in self.peers:
-                if peer != self.name:
-                    self.send(peer, commit)
+            self.multicast(self.other_peers, commit)
 
     # -- phase 3: commit --------------------------------------------------------
 
@@ -406,9 +403,7 @@ class PbftReplica(Node):
         self._own_checkpoints[seq] = digest
         self._record_checkpoint_vote(seq, digest, self.name)
         message = Checkpoint(seq, digest)
-        for peer in self.peers:
-            if peer != self.name:
-                self.send(peer, message)
+        self.multicast(self.other_peers, message)
 
     def handle_checkpoint(self, msg, src):
         self._record_checkpoint_vote(msg.seq, msg.state_digest, src)
@@ -452,9 +447,7 @@ class PbftReplica(Node):
             self.network.metrics.mark_phase("pbft", "view-change", self.sim.now)
         message = ViewChange(new_view, self.last_stable_seq, proofs)
         self._record_view_change(message, self.name)
-        for peer in self.peers:
-            if peer != self.name:
-                self.send(peer, message)
+        self.multicast(self.other_peers, message)
 
     def handle_viewchange(self, msg, src):
         if msg.new_view <= self.view:
@@ -506,9 +499,7 @@ class PbftReplica(Node):
         self.next_seq = max_seq + 1
         self._enter_view(pre_prepares)
         message = NewView(new_view, tuple(sorted(votes)), tuple(pre_prepares))
-        for peer in self.peers:
-            if peer != self.name:
-                self.send(peer, message)
+        self.multicast(self.other_peers, message)
         # Locally run the agreement for the carried-over proposals (the
         # pre-prepare is implicit in the NEW-VIEW for the backups).
         for seq, digest, request in pre_prepares:
@@ -794,7 +785,15 @@ def run_pbft(
     if crash_primary_at is not None:
         cluster.sim.schedule(crash_primary_at, replicas[0].crash)
     cluster.start_all()
-    cluster.run_until(lambda: all(c.done for c in clients), until=horizon)
+
+    def all_done():
+        # Checked after every event: a plain loop, no generator frame.
+        for client in clients:
+            if not client.done:
+                return False
+        return True
+
+    cluster.run_until(all_done, until=horizon)
     return PbftResult(
         replicas=replicas,
         clients=clients,

@@ -4,6 +4,12 @@ An :class:`Event` is a callback scheduled at a virtual timestamp.  Events
 at the same timestamp fire in the order they were scheduled (a strictly
 increasing sequence number breaks ties), which keeps every simulation run
 fully deterministic for a given seed.
+
+The queue tracks its *live* (non-cancelled) event count so callers can
+ask how much real work is pending without scanning, and it compacts the
+heap whenever cancelled entries outnumber live ones — retransmit-timer
+churn in Raft/PBFT otherwise bloats the heap with corpses that every
+push and pop then has to sift past.
 """
 
 import heapq
@@ -18,18 +24,23 @@ class Event:
     timer once an ack arrives).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
 
-    def __init__(self, time, seq, callback, args):
+    def __init__(self, time, seq, callback, args, queue=None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue = queue
 
     def cancel(self):
         """Prevent the callback from firing.  Safe to call repeatedly."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._note_cancel()
 
     def fire(self):
         """Invoke the callback unless the event has been cancelled."""
@@ -46,20 +57,67 @@ class Event:
 
 
 class EventQueue:
-    """Priority queue of :class:`Event` ordered by (time, sequence)."""
+    """Priority queue of :class:`Event` ordered by (time, sequence).
+
+    Heap entries are ``(time, seq, event)`` tuples so ordering is decided
+    by C-level tuple comparison — the heap never calls back into Python
+    to compare two events.  ``len(queue)`` is the number of *live*
+    events; cancelled entries stay in the heap until popped past or
+    compacted away, but never count.
+    """
+
+    #: Heap size below which cancellation never triggers compaction —
+    #: rebuilding a tiny heap costs more than sifting past its corpses.
+    COMPACT_MIN = 64
 
     def __init__(self):
         self._heap = []
         self._counter = itertools.count()
+        self._live = 0
 
     def __len__(self):
-        return len(self._heap)
+        return self._live
 
     def push(self, time, callback, args=()):
         """Enqueue a callback at virtual time ``time`` and return the event."""
-        event = Event(time, next(self._counter), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        # Build the event without the __init__ call frame — push runs
+        # once per scheduled callback, i.e. millions of times per
+        # benchmark sweep.
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._queue = self
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
         return event
+
+    def pop_next(self, horizon=None):
+        """Remove and return the earliest live event at or before ``horizon``.
+
+        The single hot-path scan: cancelled events are discarded as they
+        surface, and ``None`` is returned either when the queue holds no
+        live event or when the next live event lies beyond ``horizon``
+        (which then stays queued — check ``len(queue)`` to tell the two
+        apart).
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if horizon is not None and entry[0] > horizon:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            event._queue = None
+            return event
+        return None
 
     def pop(self):
         """Remove and return the earliest pending event.
@@ -67,20 +125,33 @@ class EventQueue:
         Cancelled events are discarded lazily here; returns ``None`` when
         the queue holds nothing but cancelled events (or is empty).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
-        return None
+        return self.pop_next()
 
     def peek_time(self):
         """Return the timestamp of the next live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if heap:
+            return heap[0][0]
         return None
 
     def clear(self):
         """Drop every pending event."""
+        for _time, _seq, event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._live = 0
+
+    # -- internal ----------------------------------------------------------
+
+    def _note_cancel(self):
+        """Bookkeeping hook called by :meth:`Event.cancel` while the event
+        is still heaped: keep the live count honest and compact once the
+        cancelled majority makes heap operations pay for dead weight."""
+        self._live -= 1
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN and 2 * self._live < len(heap):
+            live = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(live)
+            self._heap = live

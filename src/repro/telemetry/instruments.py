@@ -171,12 +171,24 @@ def _finite(value):
 
 
 class NullCounter:
-    """Does nothing; shared by every disabled counter."""
+    """Does nothing; shared by every disabled counter.
+
+    ``value`` is a no-op-setter property so hot paths that bump a cached
+    real counter's ``value`` slot directly stay safe if handed the null
+    twin instead.
+    """
 
     __slots__ = ()
 
     kind = "counter"
-    value = 0
+
+    @property
+    def value(self):
+        return 0
+
+    @value.setter
+    def value(self, _new):
+        pass
 
     def inc(self, amount=1):
         pass
@@ -188,7 +200,14 @@ class NullGauge:
     __slots__ = ()
 
     kind = "gauge"
-    value = 0
+
+    @property
+    def value(self):
+        return 0
+
+    @value.setter
+    def value(self, _new):
+        pass
 
     def set(self, value):
         pass

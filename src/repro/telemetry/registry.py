@@ -26,6 +26,21 @@ from .instruments import (
 )
 
 
+#: Instrument factories behind :meth:`MetricsRegistry.handle`'s ``kind``.
+_HANDLE_FACTORIES = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+}
+
+#: :meth:`NullRegistry.handle`'s no-op twins, by ``kind``.
+_NULL_HANDLES = {
+    "counter": NULL_COUNTER,
+    "gauge": NULL_GAUGE,
+    "histogram": NULL_HISTOGRAM,
+}
+
+
 class MetricsRegistry:
     """Home of every labeled instrument recorded during one run."""
 
@@ -57,6 +72,26 @@ class MetricsRegistry:
         existing instrument regardless.
         """
         return self._get(name, labels, lambda: Histogram(buckets))
+
+    def handle(self, kind, name, **labels):
+        """Resolve-once fast-path lookup: the instrument for ``name`` +
+        ``labels``, created on first use.
+
+        ``kind`` is ``"counter"``, ``"gauge"`` or ``"histogram"``.  Hot
+        paths (the network send loop, the event loop) call this once per
+        series, keep the returned handle, and thereafter pay only the
+        ``.inc()``/``.observe()`` — no label-dict rebuild, no sort, no
+        registry re-hash per record.  The handle stays valid for the
+        registry's lifetime: series are interned and never dropped.
+        """
+        try:
+            factory = _HANDLE_FACTORIES[kind]
+        except KeyError:
+            raise ValueError(
+                "unknown instrument kind %r (want counter/gauge/histogram)"
+                % (kind,)
+            ) from None
+        return self._get(name, labels, factory)
 
     # -- introspection -----------------------------------------------------
 
@@ -111,6 +146,15 @@ class NullRegistry:
 
     def histogram(self, name, buckets=DEFAULT_BUCKETS, **labels):
         return NULL_HISTOGRAM
+
+    def handle(self, kind, name, **labels):
+        try:
+            return _NULL_HANDLES[kind]
+        except KeyError:
+            raise ValueError(
+                "unknown instrument kind %r (want counter/gauge/histogram)"
+                % (kind,)
+            ) from None
 
     def series(self):
         return []

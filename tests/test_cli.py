@@ -24,6 +24,20 @@ class TestCli:
         assert main(["run", "carrier-pigeon"]) == 1
         assert "unknown" in capsys.readouterr().out
 
+    def test_profile_prints_hot_call_sites(self, capsys):
+        assert main(["profile", "paxos", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # pstats table, sorted as promised
+        assert "profiled:" in out and "events" in out
+
+    def test_profile_with_telemetry(self, capsys):
+        assert main(["profile", "paxos", "--telemetry", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+
+    def test_profile_unknown_protocol(self, capsys):
+        assert main(["profile", "carrier-pigeon"]) == 1
+
     def test_kv(self, capsys):
         assert main(["kv", "--protocol", "multi-paxos"]) == 0
         out = capsys.readouterr().out

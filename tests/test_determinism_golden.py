@@ -1,0 +1,56 @@
+"""Golden-file determinism regression: byte-identical traces and stats.
+
+The determinism contract — same seed, same run, down to every RNG draw —
+is what makes the library's experiments reproducible and its perf work
+safe to verify.  These tests pin it: each protocol's seed-0 causal trace
+(JSONL) and telemetry run report (JSON) must match the committed golden
+bytes exactly.
+
+A diff here means an observable behaviour change: RNG draw order,
+event ordering, message flow, or report layout.  If the change is
+*intended* (a protocol fix, a new instrument), regenerate the goldens
+and say so in the commit:
+
+    PYTHONPATH=src python -m repro trace <p> --seed 0 \\
+        --jsonl tests/golden/<p>_seed0.trace.jsonl
+    PYTHONPATH=src python -m repro stats <p> --seed 0 \\
+        --json tests/golden/<p>_seed0.stats.json
+
+A pure optimisation must never need that.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+PROTOCOLS = ("paxos", "pbft", "raft", "hotstuff")
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_trace_matches_golden(protocol, tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    exit_code = main(["trace", protocol, "--seed", "0",
+                      "--jsonl", str(out)])
+    capsys.readouterr()  # swallow the rendered flow diagram
+    assert exit_code == 0
+    golden = GOLDEN_DIR / ("%s_seed0.trace.jsonl" % protocol)
+    assert out.read_bytes() == golden.read_bytes(), \
+        "seed-0 %s trace diverged from tests/golden/%s" % (protocol,
+                                                           golden.name)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_stats_match_golden(protocol, tmp_path, capsys):
+    out = tmp_path / "stats.json"
+    exit_code = main(["stats", protocol, "--seed", "0",
+                      "--json", str(out)])
+    capsys.readouterr()  # swallow the rendered summary
+    assert exit_code == 0
+    golden = GOLDEN_DIR / ("%s_seed0.stats.json" % protocol)
+    assert out.read_bytes() == golden.read_bytes(), \
+        "seed-0 %s stats diverged from tests/golden/%s" % (protocol,
+                                                           golden.name)

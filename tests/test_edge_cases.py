@@ -260,7 +260,12 @@ class TestSmallApis:
         from repro.core import Node
         cluster.add_node(Node, "a")
         cluster.add_node(Node, "b")
-        assert cluster.network.node_names == ["a", "b"]
+        assert cluster.network.node_names == ("a", "b")
+        # The tuple is cached between registrations and invalidated by
+        # register().
+        assert cluster.network.node_names is cluster.network.node_names
+        cluster.add_node(Node, "c")
+        assert cluster.network.node_names == ("a", "b", "c")
 
     def test_chain_height_of(self):
         from repro.blockchain import Blockchain, mine

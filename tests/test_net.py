@@ -10,6 +10,7 @@ from repro.net import (
     AsynchronousModel,
     DeliveryModel,
     Message,
+    Network,
     PartialSynchronyModel,
     PartitionManager,
     PerLinkModel,
@@ -219,6 +220,82 @@ class TestMessageSizing:
 
     def test_mtype_is_lowercased_class_name(self):
         assert Ping("x").mtype == "ping"
+
+    def test_mtype_is_cached_on_the_class(self):
+        # Stamped by __init_subclass__, not computed per instance.
+        assert "mtype" in Ping.__dict__
+        assert Ping.mtype == "ping"
+
+    def test_explicit_mtype_survives_subclassing(self):
+        @dataclass(frozen=True)
+        class Renamed(Message):
+            mtype = "wire-name"
+
+        assert Renamed().mtype == "wire-name"
+
+    def test_size_estimate_stable_across_calls(self):
+        # The per-class field plan must not drift between invocations.
+        message = Ping("hello")
+        assert message.size_estimate() == message.size_estimate()
+
+
+class TestDispatchCache:
+    def test_handler_resolved_once_per_class(self):
+        sim = Simulator()
+        network = Network(sim)
+
+        class CachedRecorder(Recorder):
+            pass
+
+        node = CachedRecorder(sim, network, "n")
+        assert CachedRecorder._dispatch == {}
+        node.deliver(Ping("x"), "peer")
+        assert CachedRecorder._dispatch["ping"] is CachedRecorder.handle_ping
+        node.deliver(Ping("y"), "peer")
+        assert [payload for _src, payload, _t in node.received] == ["x", "y"]
+
+    def test_unhandled_mtype_cached_as_none(self):
+        sim = Simulator()
+
+        @dataclass(frozen=True)
+        class Mystery(Message):
+            pass
+
+        class Deaf(Node):
+            def __init__(self, sim, network, name):
+                super().__init__(sim, network, name)
+                self.unhandled = []
+
+            def on_unhandled(self, message, src):
+                self.unhandled.append(message)
+
+        node = Deaf(sim, Network(sim), "n")
+        node.deliver(Mystery(), "peer")
+        node.deliver(Mystery(), "peer")
+        assert len(node.unhandled) == 2
+        assert Deaf._dispatch["mystery"] is None
+
+    def test_subclasses_get_independent_caches(self):
+        # A subclass must not inherit (or pollute) its parent's cache —
+        # each class resolves its own handlers.
+        sim = Simulator()
+        network = Network(sim)
+
+        class Parent(Recorder):
+            pass
+
+        class Child(Parent):
+            def handle_ping(self, msg, src):
+                self.received.append(("child", msg.payload, self.sim.now))
+
+        parent = Parent(sim, network, "p")
+        child = Child(sim, network, "c")
+        parent.deliver(Ping("a"), "peer")
+        child.deliver(Ping("b"), "peer")
+        assert Parent._dispatch["ping"] is Parent.handle_ping
+        assert Child._dispatch["ping"] is Child.handle_ping
+        assert parent.received[0][0] == "peer"
+        assert child.received[0][0] == "child"
 
 
 class TestEnvelope:

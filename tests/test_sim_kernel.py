@@ -57,6 +57,61 @@ class TestEventQueue:
         queue.clear()
         assert queue.pop() is None
 
+    def test_len_counts_live_events_only(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None)
+        gone = queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        gone.cancel()
+        assert len(queue) == 1
+        gone.cancel()  # repeated cancel must not double-decrement
+        assert len(queue) == 1
+        queue.pop()
+        assert len(queue) == 0
+        keep.cancel()  # cancel after pop: no longer queued, no effect
+        assert len(queue) == 0
+
+    def test_pop_next_horizon_leaves_future_events_queued(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(10.0, lambda: None)
+        assert queue.pop_next(5.0).time == 1.0
+        # The 10.0 event is beyond the horizon: not popped, still live.
+        assert queue.pop_next(5.0) is None
+        assert len(queue) == 1
+        assert queue.pop_next().time == 10.0
+
+    def test_pop_next_discards_cancelled_before_horizon_check(self):
+        queue = EventQueue()
+        stale = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        stale.cancel()
+        event = queue.pop_next(5.0)
+        assert event.time == 2.0 and not event.cancelled
+
+    def test_compaction_drops_cancelled_majority(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # Compaction fired along the way: the heap has shed the bulk of
+        # its corpses (never holding more than 2x the live count once
+        # past COMPACT_MIN), and live events plus their order survive.
+        assert len(queue._heap) <= 2 * len(queue)
+        assert len(queue._heap) < 200
+        assert len(queue) == 50
+        popped = [queue.pop().time for _ in range(50)]
+        assert popped == [float(i) for i in range(150, 200)]
+
+    def test_no_compaction_below_min_heap_size(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        # Tiny heaps keep their corpses (rebuild costs more than sifting).
+        assert len(queue._heap) == 10
+        assert len(queue) == 1
+
 
 class TestSimulator:
     def test_clock_advances_to_event_times(self):
@@ -117,6 +172,16 @@ class TestSimulator:
         sim.run()
         assert fired == [(1, None)] or fired[0] is not None
         assert len(fired) == 1
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        stale = sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+        stale.cancel()
+        # The old implementation reported the raw heap size, so a pile
+        # of cancelled retransmit timers inflated the number.
+        assert sim.pending_events == 1
 
     def test_determinism_same_seed(self):
         def run(seed):

@@ -119,6 +119,41 @@ class TestRegistry:
         # The shared singletons: one instrument serves every call site.
         assert null.counter("x") is NULL_REGISTRY.counter("y")
 
+    def test_handle_resolves_interned_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.handle("counter", "m", proto="paxos")
+        assert counter is registry.counter("m", proto="paxos")
+        gauge = registry.handle("gauge", "depth", node="a")
+        assert gauge is registry.gauge("depth", node="a")
+        histogram = registry.handle("histogram", "lat", proto="paxos")
+        assert histogram is registry.histogram("lat", proto="paxos")
+        # The contract hot paths rely on: the handle stays valid, so
+        # increments through it land on the registry's series.
+        counter.inc(3)
+        assert registry.value("m", proto="paxos") == 3
+
+    def test_handle_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            MetricsRegistry().handle("timer", "m")
+        with pytest.raises(ValueError, match="unknown instrument kind"):
+            NullRegistry().handle("timer", "m")
+
+    def test_null_handle_returns_shared_noops(self):
+        null = NullRegistry()
+        assert null.handle("counter", "m") is NULL_REGISTRY.counter("x")
+        assert null.handle("gauge", "g") is NULL_REGISTRY.gauge("x")
+        assert null.handle("histogram", "h") is NULL_REGISTRY.histogram("x")
+
+    def test_null_counter_value_writes_are_absorbed(self):
+        # Hot paths bump cached handles' ``value`` slot directly; the
+        # null twins must absorb those writes, not raise.
+        counter = NULL_REGISTRY.counter("m")
+        counter.value += 5
+        assert counter.value == 0
+        gauge = NULL_REGISTRY.gauge("g")
+        gauge.value = 3
+        assert gauge.value == 0
+
 
 class TestExposition:
     def test_prometheus_text_format(self):
