@@ -1,4 +1,4 @@
-"""E23 — simulator throughput: wall-clock events/sec and messages/sec.
+"""E23/E24 — simulator throughput, and what the monitors cost.
 
 Unlike E1–E22, this experiment measures the *harness*, not the paper:
 how many simulated events and messages per wall-clock second the
@@ -6,6 +6,11 @@ substrate sustains with telemetry enabled, across protocols and cluster
 sizes.  It exists so perf regressions in the hot paths (event loop,
 send path, telemetry handles) show up in ``BENCH_consensus.json``'s
 trajectory instead of silently doubling CI time.
+
+E24 measures the conformance monitors the same way: one protocol run
+with monitors off (the default — no tracer, no per-event work) versus
+on (tracer + the full monitor battery).  The off rate is the number the
+suite's perf work defends; the on/off ratio is the price of a verdict.
 
 Wall-clock numbers are machine-dependent, so the assertions are
 structural (work completed, counts positive) — the measured rates are
@@ -122,3 +127,77 @@ def test_throughput(benchmark, report, bench_snapshot):
     # to-all phases) must move more messages than multi-paxos per
     # committed command at comparable scale.
     assert any(row["protocol"] == "pbft" for row in rows)
+
+
+def _measure_monitored(protocol, driver, size, monitors):
+    """Best-of-ROUNDS wall-clock run with monitors on or off.
+
+    The off configuration is the true default path — no tracer is
+    constructed, so the network's no-observer fast path runs; the on
+    configuration carries the tracer plus the full spec battery.
+    """
+    best = None
+    for _ in range(ROUNDS):
+        cluster = Cluster(seed=SEED, monitors=monitors)
+        if monitors:
+            n = 3 * size + 1 if protocol == "pbft" else size
+            cluster.attach_monitors(protocol, n=n, f=size)
+        start = time.perf_counter()
+        driver(cluster, size)
+        wall = time.perf_counter() - start
+        if monitors:
+            cluster.monitors.finish()
+            assert cluster.monitors.ok, cluster.monitors.anomalies
+        events = cluster.sim.events_processed
+        if best is None or wall < best["wall"]:
+            best = {"events": events, "wall": wall}
+    best["events_per_sec"] = best["events"] / best["wall"]
+    return best
+
+
+#: (protocol, scale) pairs for the overhead comparison — the two most
+#: heavily instrumented protocols, at their smallest honest scale.
+MONITOR_CONFIGS = [
+    ("multi-paxos", 5, _drive_multipaxos),
+    ("pbft", 1, _drive_pbft),
+]
+
+
+def test_monitor_overhead(benchmark, report, bench_snapshot):
+    def run_all():
+        rows = []
+        for protocol, size, driver in MONITOR_CONFIGS:
+            off = _measure_monitored(protocol, driver, size, monitors=False)
+            on = _measure_monitored(protocol, driver, size, monitors=True)
+            rows.append({
+                "protocol": protocol,
+                "off events/s": int(off["events_per_sec"]),
+                "on events/s": int(on["events_per_sec"]),
+                "overhead x": round(off["events_per_sec"]
+                                    / on["events_per_sec"], 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    text = render_table(
+        rows, title="E24 — conformance-monitor overhead (off vs on)")
+    text += ("\nbest-of-%d wall-clock per configuration, seed %d; the off\n"
+             "column is the default no-tracer fast path, the on column adds\n"
+             "the tracer and the full per-protocol monitor battery."
+             % (ROUNDS, SEED))
+    report("E24_monitor_overhead", text)
+
+    snapshot = {}
+    for row in rows:
+        key = row["protocol"].replace("-", "")
+        snapshot["%s_off_events_per_sec" % key] = row["off events/s"]
+        snapshot["%s_on_events_per_sec" % key] = row["on events/s"]
+        snapshot["%s_overhead_x" % key] = row["overhead x"]
+    bench_snapshot("E24_monitor_overhead", quick=QUICK, **snapshot)
+
+    for row in rows:
+        assert row["off events/s"] > 0 and row["on events/s"] > 0
+        # Monitoring costs something but must stay the same order of
+        # magnitude — it is a streaming pass, not a re-simulation.
+        assert row["overhead x"] < 10.0

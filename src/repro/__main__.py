@@ -10,6 +10,9 @@ Commands:
   counters and latency histograms rendered as ASCII, optionally
   exported as a deterministic JSON run report and/or a Prometheus
   text exposition.
+* ``check <protocol>`` — one run under live conformance monitors,
+  cross-checked against the paper's property box; exits 0 when clean,
+  1 on any anomaly, 2 on usage errors.
 * ``profile`` — cProfile one run and print the hottest call sites.
 * ``kv`` — interactive-ish replicated-KV demo (scripted operations).
 * ``mine`` — a short PoW mining-network run with fork statistics.
@@ -95,6 +98,13 @@ def _run_paxos(cluster):
                              stagger=1.0)
     return "decided %r after %d proposer round(s)" % (result.value,
                                                       result.rounds)
+
+
+@_runner("multi-paxos")
+def _run_multipaxos(cluster):
+    from .protocols.multipaxos import run_multipaxos
+    result = run_multipaxos(cluster, n_replicas=5, commands_per_client=5)
+    return "5 commands replicated; consistent=%s" % result.logs_consistent()
 
 
 @_runner("raft")
@@ -233,6 +243,53 @@ def cmd_stats(args):
     return 0
 
 
+def cmd_check(args):
+    from .monitor import (
+        check_protocols,
+        render_report,
+        run_check,
+        supported_faults,
+        write_report,
+    )
+    if args.all:
+        protocols = check_protocols()
+    elif args.protocol is None:
+        print("usage: repro check <protocol> [--seed N] [--faults KIND] "
+              "[--json PATH]  (or --all); protocols: %s"
+              % ", ".join(check_protocols()))
+        return 2
+    elif args.protocol not in check_protocols():
+        print("unknown protocol %r; choices: %s"
+              % (args.protocol, ", ".join(check_protocols())))
+        return 2
+    else:
+        protocols = [args.protocol]
+    if args.faults is not None:
+        unsupported = [p for p in protocols
+                       if args.faults not in supported_faults(p)]
+        if unsupported:
+            for protocol in unsupported:
+                print("%s does not support --faults %s (supported: %s)"
+                      % (protocol, args.faults,
+                         ", ".join(supported_faults(protocol)) or "none"))
+            return 2
+    failed = False
+    for index, protocol in enumerate(protocols):
+        report = run_check(protocol, seed=args.seed, faults=args.faults)
+        if args.json:
+            try:
+                write_report(report, args.json)
+            except OSError as exc:
+                print("cannot write %s: %s" % (args.json, exc))
+                return 2
+            print("wrote %s" % args.json)
+        if index:
+            print()
+        print(render_report(report))
+        failed = failed or not report["ok"]
+    return 1 if failed else 0
+
+
 def cmd_profile(args):
     """cProfile one protocol run and print the hottest call sites.
 
@@ -341,6 +398,23 @@ def main(argv=None):
                                    "(same-seed byte-identical)")
     stats_parser.add_argument("--prom", metavar="PATH", default=None,
                               help="also export a Prometheus text exposition")
+    check_parser = sub.add_parser(
+        "check",
+        help="run one protocol under live conformance monitors and "
+             "cross-check the paper's property box; exits 0 when clean, "
+             "1 on any anomaly, 2 on usage errors")
+    check_parser.add_argument("protocol", nargs="?", default=None,
+                              help="e.g. paxos, pbft, tendermint")
+    check_parser.add_argument("--all", action="store_true",
+                              help="check every table protocol with a "
+                                   "driver")
+    check_parser.add_argument("--seed", type=int, default=0)
+    check_parser.add_argument("--faults", default=None, metavar="KIND",
+                              help="inject a fault (per protocol: "
+                                   "equivocate, silent, crash, byzantine)")
+    check_parser.add_argument("--json", metavar="PATH", default=None,
+                              help="also export the deterministic JSON "
+                                   "conformance report")
     profile_parser = sub.add_parser(
         "profile",
         help="cProfile one protocol run and print the top cumulative "
@@ -370,6 +444,7 @@ def main(argv=None):
         "run": cmd_run,
         "trace": cmd_trace,
         "stats": cmd_stats,
+        "check": cmd_check,
         "profile": cmd_profile,
         "kv": cmd_kv,
         "mine": cmd_mine,

@@ -148,6 +148,13 @@ EXPERIMENT_NOTES = {
             "protocols and cluster sizes. Recorded so hot-path regressions are\n"
             "visible in the bench trajectory; rates are machine-dependent and\n"
             "not asserted."),
+    "E24": ("Conformance-monitor overhead (harness)",
+            "Not a paper figure: the cost of watching. The same protocol run\n"
+            "with the streaming conformance monitors off (the default: no\n"
+            "tracer, no per-event work at all) versus on (tracer + full\n"
+            "monitor battery). Monitors-off throughput is the number the\n"
+            "suite's perf work defends; the on/off ratio bounds what 'repro\n"
+            "check' and monitored tests pay for their verdicts."),
     "E20": ("Circumventing FLP (the oracle)",
             "Paper: 'adding oracle (failure detector)'. Measured: Chandra-Toueg\n"
             "rotating-coordinator consensus decides in 12/12 runs with a heartbeat\n"
@@ -183,6 +190,7 @@ EXPERIMENT_BENCHES = {
     "E21": "test_bench_price_of_tolerance.py",
     "E22": "test_bench_optimistic.py",
     "E23": "test_bench_throughput.py",
+    "E24": "test_bench_throughput.py",
 }
 
 

@@ -110,7 +110,7 @@ class Miner(Node):
                                  height)
         transactions = [coinbase]
         ledger = self.chain.ledger().copy()
-        for txid, tx in sorted(self.mempool.items()):
+        for _txid, tx in sorted(self.mempool.items()):
             if ledger.can_apply(tx):
                 ledger.apply(tx)
                 transactions.append(tx)

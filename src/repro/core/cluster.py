@@ -36,11 +36,20 @@ class Cluster:
         the metrics collector's phase/request marks.  Off by default; an
         un-instrumented cluster pays nothing, and telemetry only
         *observes* — enabling it never changes a run's behaviour.
+    monitors:
+        When true, attach a :class:`~repro.monitor.MonitorHub` streaming
+        every trace event to online invariant monitors (implies
+        ``trace=True`` — monitors watch the trace).  Populate it per
+        protocol with :meth:`attach_monitors`.  Off by default, the hub
+        is the :data:`~repro.monitor.NULL_HUB` twin and the run pays
+        nothing.  Like the tracer, monitors are pure observers: enabling
+        them never changes a run's behaviour.
     """
 
-    def __init__(self, seed=0, delivery=None, trace=False, telemetry=False):
+    def __init__(self, seed=0, delivery=None, trace=False, telemetry=False,
+                 monitors=False):
         self.sim = Simulator(seed=seed)
-        self.tracer = Tracer(self.sim) if trace else None
+        self.tracer = Tracer(self.sim) if (trace or monitors) else None
         self.sim.tracer = self.tracer
         self.telemetry = MetricsRegistry() if telemetry else None
         if self.telemetry is not None:
@@ -57,6 +66,27 @@ class Cluster:
         self.keys = KeyRegistry(seed=b"cluster-%d" % seed)
         self.usig_authority = UsigAuthority(seed=b"cluster-usig-%d" % seed)
         self.nodes = []
+        if monitors:
+            from ..monitor import MonitorHub
+            self.monitors = MonitorHub(self.tracer, collector=self.metrics)
+        else:
+            from ..monitor import NULL_HUB
+            self.monitors = NULL_HUB
+
+    def attach_monitors(self, protocol, n, f=0):
+        """Populate the monitor hub with ``protocol``'s spec battery.
+
+        Requires ``Cluster(monitors=True)``; raises ``ValueError``
+        otherwise so a silently-null hub can't masquerade as coverage.
+        Returns the list of attached monitors.
+        """
+        from ..monitor import NULL_HUB, build_monitors, spec_for
+        if self.monitors is NULL_HUB:
+            raise ValueError(
+                "attach_monitors needs Cluster(monitors=True)")
+        battery = build_monitors(spec_for(protocol), n, f)
+        self.monitors.extend(battery)
+        return battery
 
     def add_node(self, factory, *args, **kwargs):
         """Construct a node via ``factory(sim, network, *args, **kwargs)``,

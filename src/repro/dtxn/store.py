@@ -121,7 +121,7 @@ class DistributedKV:
     def crash_one_replica_per_partition(self):
         """Crash a follower in every group (a tolerable minority)."""
         crashed = []
-        for gid, replicas in self.replicas.items():
+        for replicas in self.replicas.values():
             for replica in replicas:
                 if not replica.crashed and not replica.is_leader:
                     replica.crash()

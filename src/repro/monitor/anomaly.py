@@ -1,0 +1,76 @@
+"""The structured violation record every monitor emits.
+
+An :class:`Anomaly` is to the monitor subsystem what a
+:class:`~repro.trace.TraceEvent` is to the tracer: one immutable,
+fully-deterministic record of something that happened — here, something
+that should *not* have happened.  It names the monitor that tripped,
+the safety/liveness/complexity category, the offending node and trace
+event, and carries a rendered causal-context snippet (the last few
+trace events involving that node) so a violation report reads like a
+miniature post-mortem instead of a bare assertion message.
+"""
+
+from dataclasses import dataclass
+
+#: Anomaly categories, mirroring the paper's property box: safety
+#: arguments, liveness arguments, and the message-complexity column.
+SAFETY = "safety"
+LIVENESS = "liveness"
+COMPLEXITY = "complexity"
+CONFORMANCE = "conformance"
+
+CATEGORIES = (SAFETY, LIVENESS, COMPLEXITY, CONFORMANCE)
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One monitor violation.
+
+    Attributes
+    ----------
+    monitor:
+        Name of the monitor that tripped (``"agreement"``, ...).
+    category:
+        One of :data:`CATEGORIES`.
+    message:
+        Human-readable statement of the violation.
+    node:
+        The offending node, when one can be named; empty otherwise.
+    time:
+        Virtual time of the offending event (or of detection).
+    seq:
+        Trace sequence number of the offending event; ``-1`` for
+        end-of-run findings with no single event.
+    detail:
+        Canonicalised extras: sorted ``(key, value)`` string pairs.
+    context:
+        Rendered causal-context lines from the trace around the
+        offending event — deterministic, same-seed byte-identical.
+    """
+
+    monitor: str
+    category: str
+    message: str
+    node: str = ""
+    time: float = 0.0
+    seq: int = -1
+    detail: tuple = ()
+    context: tuple = ()
+
+    def to_dict(self):
+        """Plain-dict form for the deterministic JSON conformance report."""
+        return {
+            "monitor": self.monitor,
+            "category": self.category,
+            "message": self.message,
+            "node": self.node,
+            "time": round(float(self.time), 9),
+            "seq": self.seq,
+            "detail": {key: value for key, value in self.detail},
+            "context": list(self.context),
+        }
+
+    def __repr__(self):
+        where = " on %s" % self.node if self.node else ""
+        return "Anomaly(%s/%s%s: %s)" % (self.category, self.monitor,
+                                         where, self.message)

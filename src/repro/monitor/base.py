@@ -1,0 +1,240 @@
+"""Monitor base class, the streaming hub, and zero-cost null twins.
+
+The hub subscribes to the :class:`~repro.trace.Tracer` as a streaming
+sink: every trace event is pushed to the monitors the moment it is
+recorded, so invariants are evaluated *online*, event by event, while
+the simulator runs.  Monitors declare the event kinds they care about
+(``kinds``) and the hub dispatches per kind, so an agreement monitor
+never sees a SEND and the hot path stays a dict lookup plus a short
+tuple walk.
+
+Mirroring ``telemetry.instruments``, the module ships null twins
+(:class:`NullMonitor`, :class:`NullMonitorHub`, :data:`NULL_HUB`) so
+code can hold an unconditional hub reference; a monitors-off run never
+constructs a tracer sink at all, keeping the no-observer fast path of
+the network untouched.
+
+Monitors are pure observers: they must not schedule events, send
+messages, or touch the simulator's RNG.  Enabling monitors therefore
+cannot perturb a run — same seed, same trace, monitors or not.
+"""
+
+from ..trace.events import DELIVER
+from .anomaly import SAFETY, Anomaly
+
+#: How many surrounding trace events an anomaly's causal context shows.
+CONTEXT_WINDOW = 5
+
+
+def render_context(trace, node, seq, window=CONTEXT_WINDOW):
+    """Render the last ``window`` events involving ``node`` up to ``seq``.
+
+    This is the causal-context snippet attached to anomalies: the trail
+    of sends/delivers/milestones that led the offending node to the
+    violation.  Purely a function of the recorded trace, so same-seed
+    runs render byte-identical context.
+    """
+    if trace is None:
+        return ()
+    events = trace.events
+    if seq < 0 or seq >= len(events):
+        seq = len(events) - 1
+    picked = []
+    index = seq
+    while index >= 0 and len(picked) < window:
+        event = events[index]
+        if not node or event.node == node or event.peer == node:
+            picked.append(event)
+        index -= 1
+    picked.reverse()
+    lines = []
+    for event in picked:
+        peer = (" <-%s" % event.peer if event.kind == DELIVER and event.peer
+                else (" ->%s" % event.peer if event.peer else ""))
+        detail = " ".join("%s=%s" % pair for pair in event.detail)
+        lines.append("#%d t=%g %s %s%s %s%s" % (
+            event.seq, event.time, event.kind, event.node or "-", peer,
+            event.mtype, (" [%s]" % detail) if detail else ""))
+    return tuple(lines)
+
+
+class Monitor:
+    """Base class for streaming invariant monitors.
+
+    Subclasses set ``name`` and ``category``, declare the trace-event
+    ``kinds`` they observe (empty tuple = every kind), and override
+    :meth:`observe` (per event) and/or :meth:`finish` (end of run).
+    Violations are reported through :meth:`record`, which stamps the
+    anomaly with the offending event and its rendered causal context.
+    """
+
+    name = "monitor"
+    category = SAFETY
+    kinds = ()
+
+    def __init__(self):
+        self.hub = None
+        self.anomalies = []
+
+    def attach(self, hub):
+        self.hub = hub
+
+    def observe(self, event):
+        """Called for every matching trace event, in recording order."""
+
+    def finish(self):
+        """Called once at run end, for whole-run verdicts."""
+
+    # -- reporting -----------------------------------------------------------
+
+    def record(self, message, event=None, node="", **detail):
+        """File an :class:`Anomaly`, rendering causal context if possible."""
+        if event is not None:
+            node = node or event.node
+            time, seq = event.time, event.seq
+        else:
+            time, seq = self._now(), -1
+        trace = self.hub.trace if self.hub is not None else None
+        anomaly = Anomaly(
+            monitor=self.name,
+            category=self.category,
+            message=message,
+            node=node,
+            time=time,
+            seq=seq,
+            detail=tuple(sorted((key, str(value))
+                                for key, value in detail.items())),
+            context=render_context(trace, node, seq),
+        )
+        self.anomalies.append(anomaly)
+        return anomaly
+
+    def _now(self):
+        hub = self.hub
+        if hub is not None and hub.tracer is not None:
+            return hub.tracer.sim.now
+        return 0.0
+
+    def __repr__(self):
+        flag = "TRIPPED(%d)" % len(self.anomalies) if self.anomalies else "ok"
+        return "%s(%s, %s)" % (type(self).__name__, self.name, flag)
+
+
+class MonitorHub:
+    """Fans trace events out to registered monitors, online.
+
+    Parameters
+    ----------
+    tracer:
+        The :class:`~repro.trace.Tracer` to subscribe to.
+    collector:
+        Optional :class:`~repro.metrics.MetricsCollector`; monitors that
+        read transport counters (message-complexity envelope) find it
+        here.
+    """
+
+    def __init__(self, tracer, collector=None):
+        self.tracer = tracer
+        self.collector = collector
+        self.monitors = []
+        self._dispatch = {}
+        self._catchall = ()
+        self._finished = False
+        tracer.subscribe(self.observe)
+
+    @property
+    def trace(self):
+        return self.tracer.trace
+
+    def add(self, monitor):
+        """Register ``monitor`` and index it by observed event kind."""
+        monitor.attach(self)
+        self.monitors.append(monitor)
+        if monitor.kinds:
+            for kind in monitor.kinds:
+                bucket = self._dispatch.get(kind, self._catchall)
+                self._dispatch[kind] = bucket + (monitor,)
+        else:
+            self._catchall = self._catchall + (monitor,)
+            for kind, bucket in self._dispatch.items():
+                self._dispatch[kind] = bucket + (monitor,)
+        return monitor
+
+    def extend(self, monitors):
+        for monitor in monitors:
+            self.add(monitor)
+        return self
+
+    def observe(self, event):
+        for monitor in self._dispatch.get(event.kind, self._catchall):
+            monitor.observe(event)
+
+    def finish(self):
+        """Run end-of-run verdicts once; returns all anomalies."""
+        if not self._finished:
+            self._finished = True
+            for monitor in self.monitors:
+                monitor.finish()
+        return self.anomalies
+
+    @property
+    def anomalies(self):
+        found = []
+        for monitor in self.monitors:
+            found.extend(monitor.anomalies)
+        found.sort(key=lambda a: (a.seq if a.seq >= 0 else 1 << 60,
+                                  a.monitor, a.message))
+        return found
+
+    @property
+    def ok(self):
+        return not self.anomalies
+
+    def __repr__(self):
+        return "MonitorHub(%d monitors, %d anomalies)" % (
+            len(self.monitors), len(self.anomalies))
+
+
+class NullMonitor:
+    """No-op monitor twin: observe/finish cost nothing, never trips."""
+
+    name = "null"
+    category = SAFETY
+    kinds = ()
+    anomalies = ()
+
+    def attach(self, hub):
+        pass
+
+    def observe(self, event):
+        pass
+
+    def finish(self):
+        pass
+
+
+class NullMonitorHub:
+    """No-op hub twin for unconditional references in monitor-less runs."""
+
+    tracer = None
+    collector = None
+    trace = None
+    monitors = ()
+    anomalies = ()
+    ok = True
+
+    def add(self, monitor):
+        return monitor
+
+    def extend(self, monitors):
+        return self
+
+    def observe(self, event):
+        pass
+
+    def finish(self):
+        return ()
+
+
+#: Shared null hub instance — safe because it is stateless.
+NULL_HUB = NullMonitorHub()

@@ -1,0 +1,402 @@
+"""End-to-end conformance checking: run, monitor, cross-check, report.
+
+``run_check(protocol, seed, faults)`` drives one monitored run of the
+protocol (a small fixed scenario per table row), lets the monitor
+battery watch it online, then assembles a *conformance report* that
+cross-checks the measured run against the paper's claimed property box
+(failure model, cluster size, phases, message complexity) and lists any
+anomalies with their causal context.
+
+Reports serialize exactly like telemetry run reports — sorted keys,
+compact separators, trailing newline — so a same-seed check is
+byte-identical and golden-testable.  The ``repro check`` CLI prints the
+ASCII rendering and exits 0 (clean), 1 (anomalies), or 2 (usage).
+"""
+
+import json
+
+from ..analysis.claims import claim_for
+from ..core.cluster import Cluster
+
+#: Schema tag for the JSON conformance report.
+SCHEMA = "repro.monitor.conformance/1"
+
+_DRIVERS = {}
+_FAULTS = {}
+
+
+def _driver(name, faults=()):
+    def register(fn):
+        _DRIVERS[name] = fn
+        _FAULTS[name] = tuple(faults)
+        return fn
+    return register
+
+
+def check_protocols():
+    """Protocols ``run_check`` can drive, in paper-table order."""
+    from ..analysis.claims import PAPER_TABLE
+    return [claim.protocol for claim in PAPER_TABLE
+            if claim.protocol in _DRIVERS]
+
+
+def supported_faults(protocol):
+    return _FAULTS.get(protocol, ())
+
+
+# -- per-protocol drivers ----------------------------------------------------
+#
+# Each driver attaches the protocol's monitor battery, runs one fixed
+# scenario (with an optional injected fault), and returns
+# (n, f, summary).  Scenarios are small — a check is a smoke-scale run,
+# not a benchmark.
+
+@_driver("paxos", faults=("crash",))
+def _check_paxos(cluster, faults):
+    from ..protocols.paxos import RandomizedBackoff, run_basic_paxos
+    n, f = 5, 2
+    cluster.attach_monitors("paxos", n, f)
+    result = run_basic_paxos(
+        cluster, n_acceptors=n, proposals=("X", "Y"),
+        retry=RandomizedBackoff(), stagger=1.0,
+        crash_acceptors=(4,) if faults == "crash" else ())
+    return n, f, "decided %r in %d proposer round(s)" % (result.value,
+                                                         result.rounds)
+
+
+@_driver("multi-paxos", faults=("crash",))
+def _check_multipaxos(cluster, faults):
+    from ..protocols.multipaxos import run_multipaxos
+    n, f = 5, 2
+    cluster.attach_monitors("multi-paxos", n, f)
+    result = run_multipaxos(
+        cluster, n_replicas=n, commands_per_client=5,
+        crash_leader_at=25.0 if faults == "crash" else None)
+    return n, f, "5 commands; logs consistent=%s" % result.logs_consistent()
+
+
+@_driver("raft", faults=("crash",))
+def _check_raft(cluster, faults):
+    from ..protocols.raft import run_raft
+    n, f = 5, 2
+    cluster.attach_monitors("raft", n, f)
+    result = run_raft(
+        cluster, n_nodes=n, commands_per_client=5,
+        crash_leader_at=20.0 if faults == "crash" else None)
+    return n, f, "5 commands; logs consistent=%s" % result.logs_consistent()
+
+
+@_driver("fast-paxos")
+def _check_fast_paxos(cluster, faults):
+    from ..protocols.fast_paxos import run_fast_paxos
+    n, f = 4, 1
+    cluster.attach_monitors("fast-paxos", n, f)
+    result = run_fast_paxos(cluster, f=f, values=("X",))
+    return n, f, "decided %r (collision=%s)" % (result.decided,
+                                                result.collision)
+
+
+@_driver("flexible-paxos")
+def _check_flexible_paxos(cluster, faults):
+    from ..protocols.flexible_paxos import run_flexible_paxos
+    n, f = 6, 2
+    cluster.attach_monitors("flexible-paxos", n, f)
+    result = run_flexible_paxos(cluster, n_acceptors=n, q1=4, q2=3,
+                                proposals=("X",))
+    return n, f, "decided %r with |Q1|=4 |Q2|=3" % result.value
+
+
+@_driver("2pc")
+def _check_2pc(cluster, faults):
+    from ..protocols.commit import run_commit
+    cluster.attach_monitors("2pc", 4, 0)
+    result = run_commit(cluster, protocol="2pc", n_cohorts=3)
+    return 4, 0, "atomic=%s" % result.atomic()
+
+
+@_driver("3pc")
+def _check_3pc(cluster, faults):
+    from ..protocols.commit import run_commit
+    cluster.attach_monitors("3pc", 4, 0)
+    result = run_commit(cluster, protocol="3pc", n_cohorts=3)
+    return 4, 0, "atomic=%s" % result.atomic()
+
+
+@_driver("pbft", faults=("equivocate", "silent", "crash"))
+def _check_pbft(cluster, faults):
+    from ..protocols.pbft import (
+        EquivocatingPrimary,
+        SilentPrimary,
+        run_pbft,
+    )
+    n, f = 4, 1
+    cluster.attach_monitors("pbft", n, f)
+    kwargs = {}
+    if faults == "equivocate":
+        kwargs["primary_class"] = EquivocatingPrimary
+    elif faults == "silent":
+        kwargs["primary_class"] = SilentPrimary
+    elif faults == "crash":
+        kwargs["crash_primary_at"] = 5.0
+    result = run_pbft(cluster, f=f, operations_per_client=3, **kwargs)
+    return n, f, "3 ops; logs consistent=%s" % result.logs_consistent()
+
+
+@_driver("zyzzyva")
+def _check_zyzzyva(cluster, faults):
+    from ..protocols.zyzzyva import run_zyzzyva
+    n, f = 4, 1
+    cluster.attach_monitors("zyzzyva", n, f)
+    result = run_zyzzyva(cluster, f=f, operations=3)
+    fast, slow = result.case_counts()
+    return n, f, "3 ops (%d fast-path, %d slow-path)" % (fast, slow)
+
+
+@_driver("hotstuff")
+def _check_hotstuff(cluster, faults):
+    from ..protocols.hotstuff import run_chained_hotstuff
+    n, f = 4, 1
+    cluster.attach_monitors("hotstuff", n, f)
+    result = run_chained_hotstuff(cluster, f=f, commands=6)
+    return n, f, "6 commands; prefix consistent=%s" % \
+        result.logs_consistent()
+
+
+@_driver("minbft")
+def _check_minbft(cluster, faults):
+    from ..protocols.minbft import run_minbft
+    n, f = 3, 1
+    cluster.attach_monitors("minbft", n, f)
+    result = run_minbft(cluster, f=f, operations=3)
+    return n, f, "3 ops; logs consistent=%s" % result.logs_consistent()
+
+
+@_driver("cheapbft")
+def _check_cheapbft(cluster, faults):
+    from ..protocols.cheapbft import run_cheapbft
+    n, f = 3, 1
+    cluster.attach_monitors("cheapbft", n, f)
+    result = run_cheapbft(cluster, f=f, operations=3)
+    return n, f, "3 ops; logs consistent=%s" % result.logs_consistent()
+
+
+@_driver("upright")
+def _check_upright(cluster, faults):
+    from ..protocols.upright import run_upright
+    n, f = 6, 2  # 3m+2c+1 with m=1, c=1; tolerates m+c faults
+    cluster.attach_monitors("upright", n, f)
+    result = run_upright(cluster, m=1, c=1, operations=3)
+    return n, f, "3 ops; logs consistent=%s" % result.logs_consistent()
+
+
+@_driver("seemore")
+def _check_seemore(cluster, faults):
+    from ..protocols.seemore import run_seemore
+    n, f = 6, 2  # 3m+2c+1 with m=1, c=1
+    cluster.attach_monitors("seemore", n, f)
+    result = run_seemore(cluster, mode=3, m=1, c=1, operations=3)
+    return n, f, "3 ops (mode 3); logs consistent=%s" % \
+        result.logs_consistent()
+
+
+@_driver("xft")
+def _check_xft(cluster, faults):
+    from ..protocols.xft import run_xft
+    n, f = 3, 1
+    cluster.attach_monitors("xft", n, f)
+    result = run_xft(cluster, f=f, operations=3)
+    return n, f, "3 ops; logs consistent=%s" % result.logs_consistent()
+
+
+@_driver("ben-or", faults=("crash",))
+def _check_benor(cluster, faults):
+    from ..protocols.benor import run_benor
+    n, f = 5, 1
+    cluster.attach_monitors("ben-or", n, f)
+    result = run_benor(cluster, n=n, f=f,
+                       crash_indices=(4,) if faults == "crash" else ())
+    return n, f, "agreement=%s in <=%s round(s)" % (result.agreement(),
+                                                    result.max_round())
+
+
+@_driver("interactive-consistency", faults=("byzantine",))
+def _check_ic(cluster, faults):
+    from ..protocols.interactive_consistency import (
+        run_interactive_consistency,
+    )
+    n, f = 4, 1
+    cluster.attach_monitors("interactive-consistency", n, f)
+    result = run_interactive_consistency(
+        cluster, n=n, faulty=(2,) if faults == "byzantine" else ())
+    return n, f, "vector agreement=%s" % result.agreement()
+
+
+@_driver("pow")
+def _check_pow(cluster, faults):
+    from ..blockchain import run_mining_network
+    n, f = 4, 0
+    cluster.attach_monitors("pow", n, f)
+    result = run_mining_network(
+        cluster, hashrates=(600.0, 200.0, 100.0, 100.0),
+        target_block_time=30.0, duration=2000.0)
+    height, abandoned, rate = result.fork_stats()
+    return n, f, "height=%d abandoned=%d fork-rate=%.1f%%" % (
+        height, abandoned, 100 * rate)
+
+
+@_driver("tendermint", faults=("silent",))
+def _check_tendermint(cluster, faults):
+    from ..protocols.tendermint import run_tendermint
+    n, f = 4, 1
+    cluster.attach_monitors("tendermint", n, f)
+    result = run_tendermint(
+        cluster, f=f, heights=4,
+        silent_indices=(0,) if faults == "silent" else ())
+    return n, f, "4 blocks; chains consistent=%s" % \
+        result.chains_consistent()
+
+
+@_driver("chandra-toueg", faults=("crash",))
+def _check_ct(cluster, faults):
+    from ..protocols.chandra_toueg import run_chandra_toueg
+    n, f = 5, 2
+    cluster.attach_monitors("chandra-toueg", n, f)
+    result = run_chandra_toueg(
+        cluster, n=n, f=f,
+        crash_indices=(1,) if faults == "crash" else ())
+    return n, f, "agreement=%s" % result.agreement()
+
+
+# -- the check itself --------------------------------------------------------
+
+
+def run_check(protocol, seed=0, faults=None):
+    """One monitored conformance run; returns the report dict.
+
+    Raises ``KeyError`` for an unknown protocol and ``ValueError`` for a
+    fault kind the protocol's driver does not support.
+    """
+    driver = _DRIVERS[protocol]
+    if faults is not None and faults not in _FAULTS[protocol]:
+        supported = ", ".join(_FAULTS[protocol]) or "none"
+        raise ValueError("protocol %r supports fault kinds: %s"
+                         % (protocol, supported))
+    cluster = Cluster(seed=seed, monitors=True)
+    n, f, summary = driver(cluster, faults)
+    anomalies = cluster.monitors.finish()
+    return _build_report(protocol, seed, faults, cluster, n, f, summary,
+                         anomalies)
+
+
+def _monitor_named(hub, name):
+    for monitor in hub.monitors:
+        if monitor.name == name:
+            return monitor
+    return None
+
+
+def _build_report(protocol, seed, faults, cluster, n, f, summary,
+                  anomalies):
+    claim = claim_for(protocol)
+    hub = cluster.monitors
+    measured = {
+        "nodes": n,
+        "f": f,
+        "messages_total": cluster.metrics.messages_total,
+        "events": len(cluster.trace),
+        "virtual_time": round(float(cluster.now), 9),
+    }
+    agreement = _monitor_named(hub, "agreement")
+    if agreement is not None:
+        measured["decisions"] = agreement.decisions
+    phase = _monitor_named(hub, "phase-conformance")
+    if phase is not None:
+        measured["phases"] = phase.observed_phases()
+    envelope = _monitor_named(hub, "complexity-envelope")
+    if envelope is not None:
+        mean = envelope.mean_cost()
+        measured["messages_per_decision"] = \
+            None if mean is None else round(mean, 3)
+        measured["complexity_bound"] = round(envelope.bound, 3)
+    return {
+        "schema": SCHEMA,
+        "protocol": protocol,
+        "seed": seed,
+        "faults": faults or "none",
+        "summary": summary,
+        "claim": {
+            "failure_model": claim.failure_model,
+            "nodes": claim.nodes,
+            "phases": claim.phases,
+            "complexity": claim.complexity,
+        },
+        "measured": measured,
+        "monitors": [
+            {
+                "monitor": monitor.name,
+                "category": monitor.category,
+                "status": "tripped" if monitor.anomalies else "ok",
+                "anomalies": len(monitor.anomalies),
+            }
+            for monitor in sorted(hub.monitors, key=lambda m: m.name)
+        ],
+        "anomalies": [anomaly.to_dict() for anomaly in anomalies],
+        "ok": not anomalies,
+    }
+
+
+def report_to_json(report):
+    """Canonical byte-stable serialization (same recipe as telemetry
+    run reports): sorted keys, compact separators, trailing newline."""
+    return json.dumps(report, sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def write_report(report, path):
+    with open(path, "w") as handle:
+        handle.write(report_to_json(report))
+    return len(report["monitors"])
+
+
+def render_report(report):
+    """Human-oriented ASCII rendering of a conformance report."""
+    lines = []
+    lines.append("conformance: %s (seed %d, faults %s)"
+                 % (report["protocol"], report["seed"], report["faults"]))
+    claim = report["claim"]
+    lines.append("  paper box:  model=%s nodes=%s phases=%s complexity=%s"
+                 % (claim["failure_model"], claim["nodes"],
+                    claim["phases"], claim["complexity"]))
+    measured = report["measured"]
+    core = "n=%d f=%d msgs=%d events=%d vtime=%.1f" % (
+        measured["nodes"], measured["f"], measured["messages_total"],
+        measured["events"], measured["virtual_time"])
+    if "decisions" in measured:
+        core += " decisions=%d" % measured["decisions"]
+    lines.append("  measured:   %s" % core)
+    if measured.get("phases"):
+        lines.append("  phases:     %s" % ", ".join(measured["phases"]))
+    if measured.get("messages_per_decision") is not None:
+        lines.append("  complexity: %.1f msgs/decision (envelope %.1f)"
+                     % (measured["messages_per_decision"],
+                        measured["complexity_bound"]))
+    lines.append("  summary:    %s" % report["summary"])
+    if report["monitors"]:
+        lines.append("  monitors:")
+        for entry in report["monitors"]:
+            lines.append("    %-8s %s (%s)" % (entry["status"],
+                                               entry["monitor"],
+                                               entry["category"]))
+    else:
+        lines.append("  monitors:   none applicable")
+    if report["anomalies"]:
+        lines.append("  anomalies:")
+        for anomaly in report["anomalies"]:
+            lines.append("    - [%s/%s] %s" % (anomaly["category"],
+                                               anomaly["monitor"],
+                                               anomaly["message"]))
+            for context_line in anomaly["context"]:
+                lines.append("        %s" % context_line)
+    lines.append("  verdict:    %s"
+                 % ("PASS" if report["ok"] else "FAIL"))
+    return "\n".join(lines)

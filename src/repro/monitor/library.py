@@ -1,0 +1,405 @@
+"""The built-in monitor library.
+
+Seven streaming monitors covering the three columns of the paper's
+property boxes:
+
+* safety — :class:`AgreementMonitor`, :class:`LeaderUniquenessMonitor`,
+  :class:`QuorumCertificateMonitor`, :class:`EquivocationMonitor`;
+* conformance — :class:`PhaseConformanceMonitor` (phase alphabet vs the
+  claimed communication phases);
+* complexity — :class:`ComplexityEnvelopeMonitor` (messages per decision
+  vs the claimed O(N) / O(N²) envelope, fed from the metrics collector);
+* liveness — :class:`LivenessWatchdog` (no decision within an event
+  horizon ⇒ stall).
+
+Each monitor observes the protocol through its *trace milestones*
+(``trace_local`` decides/commits/executes, leader-assumption marks,
+``mark_phase`` boundaries) and message deliveries, so one implementation
+serves every protocol; :mod:`repro.monitor.specs` instantiates the
+right mix with per-protocol keys.
+"""
+
+from ..trace.events import DELIVER, LOCAL, PHASE
+from .anomaly import COMPLEXITY, CONFORMANCE, LIVENESS, SAFETY
+from .base import Monitor
+
+
+class AgreementMonitor(Monitor):
+    """No two nodes decide different values for the same slot.
+
+    ``slot_key`` names the detail key that identifies the decision slot
+    (``seq``, ``index``, ``height``); ``None`` means single-decree — all
+    decisions share one implicit slot.  ``value_key`` names the decided
+    value's detail key.  The first decision per slot is the reference;
+    any later decision carrying a different value is a safety violation.
+    """
+
+    name = "agreement"
+    category = SAFETY
+    kinds = (LOCAL,)
+
+    def __init__(self, decide_labels, slot_key=None, value_key="value"):
+        super().__init__()
+        self.decide_labels = tuple(decide_labels)
+        self.slot_key = slot_key
+        self.value_key = value_key
+        self._chosen = {}
+
+    def observe(self, event):
+        if event.mtype not in self.decide_labels:
+            return
+        value = event.get(self.value_key)
+        if value is None:
+            return
+        slot = event.get(self.slot_key, None) if self.slot_key else ""
+        if self.slot_key and slot is None:
+            return
+        first = self._chosen.get(slot)
+        if first is None:
+            self._chosen[slot] = (value, event.node, event.seq)
+        elif first[0] != value:
+            where = "slot %s=%s" % (self.slot_key, slot) if self.slot_key \
+                else "the decree"
+            self.record(
+                "%s decided %r for %s but %s already decided %r" % (
+                    event.node, value, where, first[1], first[0]),
+                event=event, slot=slot, value=value,
+                conflicts_with=first[1], first_value=first[0],
+                first_seq=first[2])
+
+    @property
+    def decisions(self):
+        """Distinct slots decided so far."""
+        return len(self._chosen)
+
+
+class LeaderUniquenessMonitor(Monitor):
+    """At most one node assumes leadership per ballot/term/view.
+
+    Observes ``lead`` milestones (emitted by protocols on becoming
+    leader/primary) keyed by ``epoch_key``; two distinct nodes claiming
+    the same epoch is a safety violation (split brain).
+    """
+
+    name = "leader-uniqueness"
+    category = SAFETY
+    kinds = (LOCAL,)
+
+    def __init__(self, epoch_key, lead_label="lead"):
+        super().__init__()
+        self.epoch_key = epoch_key
+        self.lead_label = lead_label
+        self._leaders = {}
+
+    def observe(self, event):
+        if event.mtype != self.lead_label:
+            return
+        epoch = event.get(self.epoch_key)
+        if epoch is None:
+            return
+        holder = self._leaders.get(epoch)
+        if holder is None:
+            self._leaders[epoch] = event.node
+        elif holder != event.node:
+            self.record(
+                "%s assumed leadership for %s=%s already held by %s" % (
+                    event.node, self.epoch_key, epoch, holder),
+                event=event, epoch=epoch, holder=holder)
+
+
+class QuorumCertificateMonitor(Monitor):
+    """A decision must be causally preceded by a quorum certificate.
+
+    Streams deliveries of the certificate message type (``ack_mtype``)
+    and, at each decide milestone, checks the deciding node had already
+    received acknowledgements from at least ``need`` distinct peers for
+    the matching ``link_keys`` values (ballot, seq, ...).  Because both
+    the acks and the decide happen on the *same* node, recording order
+    is that node's happens-before order — a decide racing ahead of its
+    quorum cannot hide.
+    """
+
+    name = "quorum-certificate"
+    category = SAFETY
+    kinds = (DELIVER, LOCAL)
+
+    def __init__(self, decide_label, ack_mtype, need, link_keys):
+        super().__init__()
+        self.decide_label = decide_label
+        self.ack_mtype = ack_mtype
+        self.need = need
+        self.link_keys = tuple(link_keys)
+        self._acks = {}
+
+    def _links(self, event):
+        values = tuple(event.get(key) for key in self.link_keys)
+        return None if None in values else values
+
+    def observe(self, event):
+        if event.kind == DELIVER:
+            if event.mtype != self.ack_mtype:
+                return
+            links = self._links(event)
+            if links is not None:
+                self._acks.setdefault((event.node, links),
+                                      set()).add(event.peer)
+        elif event.mtype == self.decide_label:
+            links = self._links(event)
+            if links is None:
+                return
+            got = len(self._acks.get((event.node, links), ()))
+            if got < self.need:
+                link_str = ", ".join("%s=%s" % (key, value) for key, value
+                                     in zip(self.link_keys, links))
+                self.record(
+                    "%s decided (%s) on %d/%d %s acks — no quorum "
+                    "certificate" % (event.node, link_str, got, self.need,
+                                     self.ack_mtype),
+                    event=event, got=got, need=self.need, links=link_str)
+
+
+class EquivocationMonitor(Monitor):
+    """A proposer must not send conflicting proposals in one epoch.
+
+    Watches deliveries of proposal messages (pre-prepare, tm-proposal)
+    and checks, per sender and epoch (view / height+round), that
+    (a) one slot never carries two different values and (b) one value is
+    never proposed at two different slots — the two faces of Byzantine
+    equivocation.  ``ignore_values`` skips protocol sentinels (PBFT's
+    null request re-proposed while filling gaps after a view change).
+    """
+
+    name = "equivocation"
+    category = SAFETY
+    kinds = (DELIVER,)
+
+    def __init__(self, proposal_mtypes, epoch_keys, slot_key=None,
+                 value_key="digest", ignore_values=("null",)):
+        super().__init__()
+        self.proposal_mtypes = tuple(proposal_mtypes)
+        self.epoch_keys = tuple(epoch_keys)
+        self.slot_key = slot_key
+        self.value_key = value_key
+        self.ignore_values = tuple(ignore_values)
+        self._value_at_slot = {}
+        self._slot_of_value = {}
+
+    def observe(self, event):
+        if event.mtype not in self.proposal_mtypes:
+            return
+        value = event.get(self.value_key)
+        if value is None or value in self.ignore_values:
+            return
+        epoch = tuple(event.get(key) for key in self.epoch_keys)
+        if None in epoch:
+            return
+        src = event.peer
+        epoch_str = ", ".join("%s=%s" % (key, val) for key, val
+                              in zip(self.epoch_keys, epoch))
+        if self.slot_key is None:
+            known = self._value_at_slot.get((src, epoch))
+            if known is None:
+                self._value_at_slot[(src, epoch)] = value
+            elif known != value:
+                self.record(
+                    "%s equivocated in epoch (%s): proposed %r and %r" % (
+                        src, epoch_str, known, value),
+                    event=event, node=src, epoch=epoch_str,
+                    value=value, conflicting_value=known)
+            return
+        slot = event.get(self.slot_key)
+        if slot is None:
+            return
+        known = self._value_at_slot.get((src, epoch, slot))
+        if known is None:
+            self._value_at_slot[(src, epoch, slot)] = value
+        elif known != value:
+            self.record(
+                "%s equivocated at %s=%s (%s): proposed %r and %r" % (
+                    src, self.slot_key, slot, epoch_str, known, value),
+                event=event, node=src, epoch=epoch_str, slot=slot,
+                value=value, conflicting_value=known)
+            return
+        held = self._slot_of_value.get((src, epoch, value))
+        if held is None:
+            self._slot_of_value[(src, epoch, value)] = slot
+        elif held != slot:
+            self.record(
+                "%s equivocated on %r (%s): proposed at %s=%s and %s=%s" % (
+                    src, value, epoch_str, self.slot_key, held,
+                    self.slot_key, slot),
+                event=event, node=src, epoch=epoch_str, value=value,
+                slot=slot, conflicting_slot=held)
+
+
+class PhaseConformanceMonitor(Monitor):
+    """The run's phase alphabet must match the paper's claimed phases.
+
+    Checks every ``mark_phase`` boundary for the monitored protocol
+    label(s) against the expected phase set from ``PAPER_TABLE``-derived
+    specs; a phase outside both ``expected`` and ``exceptional``
+    (view-change, election — fault handling the property box does not
+    count) is a conformance anomaly.  At run end, expected phases that
+    never occurred (while others did) are reported too.
+    """
+
+    name = "phase-conformance"
+    category = CONFORMANCE
+    kinds = (PHASE,)
+
+    def __init__(self, phase_protocols, expected, exceptional=(),
+                 require_all=True):
+        super().__init__()
+        self.phase_protocols = tuple(phase_protocols)
+        self.expected = tuple(expected)
+        self.exceptional = tuple(exceptional)
+        self.require_all = require_all
+        self.counts = {}
+
+    def observe(self, event):
+        if event.get("protocol") not in self.phase_protocols:
+            return
+        phase = event.mtype
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+        if phase not in self.expected and phase not in self.exceptional:
+            self.record(
+                "phase %r outside the claimed alphabet %s" % (
+                    phase, list(self.expected)),
+                event=event, phase=phase,
+                expected=",".join(self.expected))
+
+    def finish(self):
+        if not self.counts or not self.require_all:
+            return
+        missing = [phase for phase in self.expected
+                   if phase not in self.counts]
+        if missing:
+            self.record(
+                "claimed phases never entered: %s" % ", ".join(missing),
+                missing=",".join(missing))
+
+    def observed_phases(self):
+        """Claimed (non-exceptional) phases seen, in claim order, then
+        any extras in sorted order."""
+        seen = [phase for phase in self.expected if phase in self.counts]
+        extras = sorted(phase for phase in self.counts
+                        if phase not in self.expected
+                        and phase not in self.exceptional)
+        return seen + extras
+
+
+class ComplexityEnvelopeMonitor(Monitor):
+    """Messages per decision must fit the claimed complexity envelope.
+
+    Samples the collector's transport-level message total at each *new*
+    decision slot; the per-slot delta is that decision's message cost.
+    Windows containing exceptional phases (view change, election) are
+    excluded — the property boxes claim steady-state complexity.  At run
+    end the mean cost is checked against ``factor · n^exponent``
+    (exponent 1 for O(N) claims, 2 for O(N²)).
+    """
+
+    name = "complexity-envelope"
+    category = COMPLEXITY
+    kinds = (LOCAL, PHASE)
+
+    def __init__(self, decide_labels, n, exponent, factor=16.0,
+                 slot_key=None, exceptional_phases=(), phase_protocols=()):
+        super().__init__()
+        self.decide_labels = tuple(decide_labels)
+        self.n = n
+        self.exponent = exponent
+        self.factor = factor
+        self.slot_key = slot_key
+        self.exceptional_phases = tuple(exceptional_phases)
+        self.phase_protocols = tuple(phase_protocols)
+        self.samples = []
+        self._seen_slots = set()
+        self._last_total = 0
+        self._window_tainted = False
+        self._skipped_windows = 0
+
+    def _collector(self):
+        return self.hub.collector if self.hub is not None else None
+
+    def observe(self, event):
+        if event.kind == PHASE:
+            if (event.mtype in self.exceptional_phases
+                    and event.get("protocol") in self.phase_protocols):
+                self._window_tainted = True
+            return
+        if event.mtype not in self.decide_labels:
+            return
+        slot = event.get(self.slot_key, None) if self.slot_key else ""
+        if slot is None or slot in self._seen_slots:
+            return
+        self._seen_slots.add(slot)
+        collector = self._collector()
+        if collector is None:
+            return
+        total = collector.messages_total
+        if self._window_tainted:
+            self._skipped_windows += 1
+        else:
+            self.samples.append(total - self._last_total)
+        self._last_total = total
+        self._window_tainted = False
+
+    @property
+    def bound(self):
+        return self.factor * float(self.n) ** self.exponent
+
+    def mean_cost(self):
+        if not self.samples:
+            return None
+        return sum(self.samples) / len(self.samples)
+
+    def finish(self):
+        mean = self.mean_cost()
+        if mean is not None and mean > self.bound:
+            self.record(
+                "mean %.1f messages/decision exceeds the O(N^%d) envelope "
+                "%.1f (n=%d, factor %g)" % (mean, self.exponent, self.bound,
+                                            self.n, self.factor),
+                mean="%.3f" % mean, bound="%.1f" % self.bound,
+                samples=len(self.samples), skipped=self._skipped_windows)
+
+
+class LivenessWatchdog(Monitor):
+    """No decision within the event horizon ⇒ stall anomaly.
+
+    Counts trace events since the last decision milestone; crossing
+    ``horizon_events`` trips a liveness anomaly (then re-arms, so a
+    permanent stall trips once per horizon, not per event).  A run that
+    ends with no decision at all is reported at :meth:`finish`.
+    """
+
+    name = "liveness-watchdog"
+    category = LIVENESS
+    kinds = ()
+
+    def __init__(self, decide_labels, horizon_events=4000):
+        super().__init__()
+        self.decide_labels = tuple(decide_labels)
+        self.horizon_events = horizon_events
+        self.decisions = 0
+        self._since_decide = 0
+
+    def observe(self, event):
+        if event.kind == LOCAL and event.mtype in self.decide_labels:
+            self.decisions += 1
+            self._since_decide = 0
+            return
+        self._since_decide += 1
+        if self._since_decide >= self.horizon_events:
+            self.record(
+                "no decision within the last %d events (%d decisions so "
+                "far) — stalled" % (self.horizon_events, self.decisions),
+                event=event, decisions=self.decisions,
+                horizon=self.horizon_events)
+            self._since_decide = 0
+
+    def finish(self):
+        if self.decisions == 0:
+            self.record("run ended with no decision at all",
+                        decisions=0, horizon=self.horizon_events)

@@ -1,0 +1,288 @@
+"""Per-protocol monitor specs for every row of ``PAPER_TABLE``.
+
+A :class:`MonitorSpec` says which monitors apply to a protocol and with
+which keys: where its decisions show up in the trace (milestone labels,
+slot/value detail keys), what certifies them, which message types are
+proposals that could equivocate, the claimed phase alphabet, and the
+complexity exponent from the paper's O(N)/O(N²) column.
+
+Depth varies with instrumentation: the protocols the test suite drives
+hardest (paxos, multi-paxos, raft, pbft, hotstuff, tendermint, ben-or,
+chandra-toueg) emit decide/lead milestones and get the full battery;
+protocols that only mark phases get the phase-conformance monitor; a
+few (pow, upright, interactive-consistency) currently expose nothing a
+generic monitor can watch and carry an empty spec so ``repro check``
+can still enumerate the whole table.
+"""
+
+from dataclasses import dataclass
+
+from ..analysis.claims import claim_for
+from .library import (
+    AgreementMonitor,
+    ComplexityEnvelopeMonitor,
+    EquivocationMonitor,
+    LeaderUniquenessMonitor,
+    LivenessWatchdog,
+    PhaseConformanceMonitor,
+    QuorumCertificateMonitor,
+)
+
+
+@dataclass(frozen=True)
+class CertSpec:
+    """Quorum-certificate requirement: ``need(n, f)`` distinct
+    ``ack_mtype`` deliveries matching ``link_keys`` before each
+    ``decide_label`` milestone."""
+
+    decide_label: str
+    ack_mtype: str
+    need: object
+    link_keys: tuple
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """Everything needed to build a protocol's monitor battery."""
+
+    protocol: str
+    #: Milestone labels that constitute a decision (agreement + liveness).
+    decide_labels: tuple = ()
+    #: Detail key identifying the decision slot; None = single-decree.
+    slot_key: str = None
+    #: Detail key carrying the decided value.
+    value_key: str = "value"
+    #: Epoch detail key on ``lead`` milestones (ballot/term/view);
+    #: None = no leader-uniqueness monitor.
+    lead_epoch_key: str = None
+    cert: CertSpec = None
+    #: Proposal message types watched for equivocation.
+    proposal_mtypes: tuple = ()
+    proposal_epoch_keys: tuple = ()
+    proposal_slot_key: str = None
+    #: ``mark_phase`` protocol labels this spec owns.
+    phase_protocols: tuple = ()
+    expected_phases: tuple = ()
+    #: Fault-handling phases outside the steady-state claim.
+    exceptional_phases: tuple = ()
+    require_all_phases: bool = True
+    #: Phases that taint a complexity window (default: the exceptional
+    #: ones) — e.g. multi-paxos "prepare" is claimed but not steady-state.
+    window_tainting_phases: tuple = None
+    #: 1 for O(N) claims, 2 for O(N²); None = no envelope monitor.
+    complexity_exponent: int = None
+    complexity_factor: float = 16.0
+    stall_horizon_events: int = 4000
+
+    def claim(self):
+        return claim_for(self.protocol)
+
+
+def build_monitors(spec, n, f=0):
+    """Instantiate the monitor battery for ``spec`` on an ``n``-node,
+    ``f``-fault cluster."""
+    monitors = []
+    if spec.decide_labels:
+        monitors.append(AgreementMonitor(spec.decide_labels,
+                                         slot_key=spec.slot_key,
+                                         value_key=spec.value_key))
+        monitors.append(LivenessWatchdog(
+            spec.decide_labels, horizon_events=spec.stall_horizon_events))
+    if spec.lead_epoch_key:
+        monitors.append(LeaderUniquenessMonitor(spec.lead_epoch_key))
+    if spec.cert is not None:
+        monitors.append(QuorumCertificateMonitor(
+            spec.cert.decide_label, spec.cert.ack_mtype,
+            spec.cert.need(n, f), spec.cert.link_keys))
+    if spec.proposal_mtypes:
+        monitors.append(EquivocationMonitor(
+            spec.proposal_mtypes, spec.proposal_epoch_keys,
+            slot_key=spec.proposal_slot_key))
+    if spec.phase_protocols:
+        monitors.append(PhaseConformanceMonitor(
+            spec.phase_protocols, spec.expected_phases,
+            exceptional=spec.exceptional_phases,
+            require_all=spec.require_all_phases))
+    if spec.complexity_exponent is not None and spec.decide_labels:
+        tainting = spec.window_tainting_phases
+        if tainting is None:
+            tainting = spec.exceptional_phases
+        monitors.append(ComplexityEnvelopeMonitor(
+            spec.decide_labels, n, spec.complexity_exponent,
+            factor=spec.complexity_factor, slot_key=spec.slot_key,
+            exceptional_phases=tainting,
+            phase_protocols=spec.phase_protocols))
+    return monitors
+
+
+def _specs(*specs):
+    return {spec.protocol: spec for spec in specs}
+
+
+MONITOR_SPECS = _specs(
+    MonitorSpec(
+        "paxos",
+        decide_labels=("decide", "learn"),
+        value_key="value",
+        cert=CertSpec("decide", "acceptedmsg",
+                      lambda n, f: n // 2 + 1, ("ballot",)),
+        phase_protocols=("paxos",),
+        expected_phases=("prepare", "accept", "decide"),
+        complexity_exponent=1,
+    ),
+    MonitorSpec(
+        "multi-paxos",
+        decide_labels=("apply",),
+        slot_key="index",
+        value_key="op",
+        lead_epoch_key="ballot",
+        phase_protocols=("multi-paxos",),
+        expected_phases=("prepare", "accept"),
+        window_tainting_phases=("prepare",),
+        complexity_exponent=1,
+    ),
+    MonitorSpec(
+        "raft",
+        decide_labels=("apply",),
+        slot_key="index",
+        value_key="op",
+        lead_epoch_key="term",
+        phase_protocols=("raft",),
+        expected_phases=("election", "append"),
+        window_tainting_phases=("election",),
+        complexity_exponent=1,
+    ),
+    MonitorSpec(
+        "fast-paxos",
+        phase_protocols=("fast-paxos",),
+        expected_phases=("any", "commit"),
+        exceptional_phases=("classic",),
+        require_all_phases=False,
+    ),
+    MonitorSpec(
+        # Reuses the paxos machinery (and its phase labels / milestones)
+        # with a non-majority quorum system; the E-drivers run q1=4/q2=3
+        # over 6 acceptors, so the certificate threshold is q2=3.
+        "flexible-paxos",
+        decide_labels=("decide", "learn"),
+        value_key="value",
+        cert=CertSpec("decide", "acceptedmsg", lambda n, f: 3, ("ballot",)),
+        phase_protocols=("paxos",),
+        expected_phases=("prepare", "accept", "decide"),
+        complexity_exponent=1,
+    ),
+    MonitorSpec(
+        "2pc",
+        phase_protocols=("2pc",),
+        expected_phases=("vote", "decision"),
+    ),
+    MonitorSpec(
+        "3pc",
+        phase_protocols=("3pc",),
+        expected_phases=("vote", "pre-commit", "decision"),
+    ),
+    MonitorSpec(
+        "pbft",
+        decide_labels=("execute",),
+        slot_key="seq",
+        value_key="op",
+        lead_epoch_key="view",
+        cert=CertSpec("execute", "pbftcommit",
+                      lambda n, f: 2 * f, ("seq",)),
+        proposal_mtypes=("preprepare",),
+        proposal_epoch_keys=("view",),
+        proposal_slot_key="seq",
+        phase_protocols=("pbft",),
+        expected_phases=("pre-prepare", "prepare", "commit"),
+        exceptional_phases=("view-change",),
+        complexity_exponent=2,
+    ),
+    MonitorSpec(
+        "zyzzyva",
+        phase_protocols=("zyzzyva",),
+        expected_phases=("order", "commit"),
+        require_all_phases=False,  # commit phase only on the slow path
+    ),
+    MonitorSpec(
+        "hotstuff",
+        decide_labels=("decide",),
+        slot_key="index",
+        value_key="command",
+        phase_protocols=("hotstuff", "hotstuff-chained"),
+        expected_phases=("propose", "prepare", "pre-commit", "commit",
+                         "decide"),
+        require_all_phases=False,  # basic and chained mark disjoint sets
+        complexity_exponent=1,
+    ),
+    MonitorSpec(
+        "minbft",
+        phase_protocols=("minbft",),
+        expected_phases=("prepare", "commit"),
+    ),
+    MonitorSpec(
+        "cheapbft",
+        phase_protocols=("cheapbft",),
+        expected_phases=("tiny-prepare", "tiny-commit"),
+        exceptional_phases=("panic", "switch"),
+    ),
+    MonitorSpec("upright"),
+    MonitorSpec(
+        "seemore",
+        phase_protocols=("seemore-1", "seemore-2", "seemore-3"),
+        expected_phases=("propose", "validate", "decision"),
+        require_all_phases=False,  # validate exists only in mode 3
+    ),
+    MonitorSpec(
+        "xft",
+        phase_protocols=("xft",),
+        expected_phases=("prepare", "commit"),
+        exceptional_phases=("view-change",),
+    ),
+    MonitorSpec(
+        "ben-or",
+        decide_labels=("decide", "learn"),
+        value_key="value",
+        complexity_exponent=2,
+        complexity_factor=64.0,  # randomized: cost spans many rounds
+        stall_horizon_events=20000,
+    ),
+    MonitorSpec("interactive-consistency"),
+    MonitorSpec("pow"),
+    MonitorSpec(
+        "tendermint",
+        decide_labels=("commit",),
+        slot_key="height",
+        value_key="block",
+        proposal_mtypes=("tmproposal",),
+        proposal_epoch_keys=("height", "round"),
+        phase_protocols=("tendermint",),
+        expected_phases=("propose", "prevote", "precommit"),
+        complexity_exponent=2,
+    ),
+    MonitorSpec(
+        "chandra-toueg",
+        decide_labels=("decide", "learn"),
+        value_key="value",
+        complexity_exponent=1,
+        complexity_factor=64.0,  # failure-detector heartbeats run freely
+    ),
+)
+
+
+def spec_for(protocol):
+    """The :class:`MonitorSpec` for ``protocol`` (KeyError if unknown)."""
+    return MONITOR_SPECS[protocol]
+
+
+# Guard against drift: every paper row must have a spec and vice versa.
+def _check_alignment():
+    from ..analysis.claims import PAPER_TABLE
+    table = {claim.protocol for claim in PAPER_TABLE}
+    specced = set(MONITOR_SPECS)
+    if table != specced:
+        raise AssertionError(
+            "MONITOR_SPECS out of sync with PAPER_TABLE: missing=%s "
+            "extra=%s" % (sorted(table - specced), sorted(specced - table)))
+
+
+_check_alignment()

@@ -157,6 +157,8 @@ class BenOrNode(Node):
                 self.decided = decided_values[0]
                 self.decided_round = self.round
                 self.estimate = self.decided
+                self.trace_local("decide", round=self.round,
+                                 value=self.decided)
                 # Terminal gossip so laggards decide too.
                 for peer in self.peers:
                     if peer != self.name:
@@ -178,6 +180,7 @@ class BenOrNode(Node):
             self.decided = msg.value
             self.decided_round = self.round
             self.estimate = msg.value
+            self.trace_local("learn", round=self.round, value=msg.value)
             for peer in self.peers:
                 if peer != self.name:
                     self.send(peer, DecisionMsg(msg.value))

@@ -309,6 +309,7 @@ class CTProcess(Node):
             return
         self.decided = value
         self.decided_round = self.round
+        self.trace_local("decide", round=self.round, value=value)
         # Reliable broadcast: everyone relays the decision once.
         for peer in self.peers:
             if peer != self.name:
@@ -318,6 +319,7 @@ class CTProcess(Node):
         if self.decided is None:
             self.decided = msg.value
             self.decided_round = self.round
+            self.trace_local("learn", round=self.round, value=msg.value)
             for peer in self.peers:
                 if peer != self.name:
                     self.send(peer, CtDecide(msg.value))

@@ -492,7 +492,8 @@ class ChainedHotStuffReplica(Node):
                     # First replica to three-chain-commit closes the span.
                     metrics.finish_request(label, self.sim.now)
                 self.trace_local("decide", view=blk.view,
-                                 command=blk.command)
+                                 command=blk.command,
+                                 index=len(self.decided) - 1)
 
 
 # -- drivers -----------------------------------------------------------------

@@ -263,6 +263,7 @@ class MultiPaxosReplica(Node):
         self._preparing = None
         self.is_leader = True
         self.leader_hint = self.name
+        self.trace_local("lead", ballot=self.ballot_num)
         if self._election_timer is not None:
             self._election_timer.cancel()
         # Value discovery: adopt, per index, the value of the highest
@@ -406,6 +407,7 @@ class MultiPaxosReplica(Node):
             command = value.command if isinstance(value, LogCommand) else value
             result = self.state_machine.apply(command)
             self.applied_index = nxt
+            self.trace_local("apply", index=nxt, op=command)
             self.apply_results[nxt] = result
             if isinstance(value, LogCommand):
                 self._applied_requests[value.request_id] = result

@@ -360,7 +360,7 @@ def chosen_value(acceptors, quorum_system):
             by_ballot.setdefault(
                 (acceptor.accept_num, acceptor.accept_val), set()
             ).add(acceptor.name)
-    for (ballot, value), names in sorted(by_ballot.items(), reverse=True):
+    for (_ballot, value), names in sorted(by_ballot.items(), reverse=True):
         if quorum_system.is_phase2_quorum(names):
             return value
     return None

@@ -379,9 +379,11 @@ class PbftReplica(Node):
                 return
             slot.executed = True
             self.last_executed = seq
-            self.trace_local("execute", seq=seq, view=self.view)
             request = slot.request
-            if request is not None and request.client != "_null":
+            is_real = request is not None and request.client != "_null"
+            self.trace_local("execute", seq=seq, view=self.view,
+                             op=request.operation if is_real else "null")
+            if is_real:
                 result = self.state_machine.apply(request.operation)
                 self.executed_requests.append((seq, request.operation))
                 reply = PbftReply(self.view, request.timestamp, request.client,
@@ -496,6 +498,7 @@ class PbftReplica(Node):
                     pre_prepares.append((seq, NULL_DIGEST, NULL_REQUEST))
         self.view = new_view
         self.view_changes_completed += 1
+        self.trace_local("lead", view=new_view)
         self.next_seq = max_seq + 1
         self._enter_view(pre_prepares)
         message = NewView(new_view, tuple(sorted(votes)), tuple(pre_prepares))

@@ -296,6 +296,7 @@ class RaftNode(Node):
     def _become_leader(self):
         self.role = Role.LEADER
         self.leader_hint = self.name
+        self.trace_local("lead", term=self.current_term)
         if self._election_timer is not None:
             self._election_timer.cancel()
         # Commit-point no-op: anchors inherited entries under our term.
@@ -442,6 +443,8 @@ class RaftNode(Node):
                 self.apply_results[self.last_applied] = None
                 continue
             result = self.state_machine.apply(entry.command)
+            self.trace_local("apply", index=self.last_applied,
+                             op=entry.command)
             self.apply_results[self.last_applied] = result
             if entry.request_id is not None:
                 self._applied_requests[entry.request_id] = result

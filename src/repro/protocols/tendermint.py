@@ -65,6 +65,12 @@ class TmProposal(Message):
     round: int
     block: TmBlock
 
+    @property
+    def digest(self):
+        """The proposed block's hash, lifted into trace detail so
+        equivocating proposals are comparable across receivers."""
+        return self.block.hash
+
 
 @dataclass(frozen=True)
 class Prevote(Message):
@@ -153,6 +159,9 @@ class TendermintNode(Node):
             block = self.locked_block if self.locked_block is not None else \
                 TmBlock(self.height, self.prev_hash,
                         self.payload_source(self.height))
+            if self.network.metrics is not None:
+                self.network.metrics.mark_phase("tendermint", "propose",
+                                                self.sim.now)
             proposal = TmProposal(self.height, round_, block)
             self._on_proposal(proposal, self.name)
             for peer in self.peers:
@@ -201,6 +210,9 @@ class TendermintNode(Node):
 
     def _broadcast_prevote(self, block_hash):
         self.step = Step.PREVOTE
+        if self.network.metrics is not None:
+            self.network.metrics.mark_phase("tendermint", "prevote",
+                                            self.sim.now)
         vote = Prevote(self.height, self.round, block_hash)
         self._record_prevote(self.height, self.round, block_hash, self.name)
         for peer in self.peers:
@@ -243,6 +255,9 @@ class TendermintNode(Node):
 
     def _broadcast_precommit(self, block_hash):
         self.step = Step.PRECOMMIT
+        if self.network.metrics is not None:
+            self.network.metrics.mark_phase("tendermint", "precommit",
+                                            self.sim.now)
         vote = Precommit(self.height, self.round, block_hash)
         self._record_precommit(self.height, self.round, block_hash, self.name)
         for peer in self.peers:
@@ -289,6 +304,7 @@ class TendermintNode(Node):
     def _commit(self, block):
         if block.height != self.height:
             return
+        self.trace_local("commit", height=block.height, block=block.hash)
         self.chain.append(block)
         self.height += 1
         self.locked_hash = None

@@ -252,7 +252,7 @@ class ZyzzyvaClient(Node):
         self._replies[src] = msg
         groups = self._matching_groups()
         # Case 1: all 3f+1 replicas agree — complete immediately.
-        for (seq, history), names in groups.items():
+        for names in groups.values():
             if len(names) >= self.n:
                 self._complete(case=1)
                 return

@@ -33,6 +33,7 @@ from .invariants import (
     CausalInvariantError,
     assert_quorum_before_decide,
     assert_sends_precede_delivers,
+    assert_unique_leader_per_view,
     quorum_causally_precedes,
 )
 from .render import render_flow
@@ -56,6 +57,7 @@ __all__ = [
     "VectorClock",
     "assert_quorum_before_decide",
     "assert_sends_precede_delivers",
+    "assert_unique_leader_per_view",
     "canonical_detail",
     "event_from_dict",
     "event_to_dict",

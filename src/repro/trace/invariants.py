@@ -68,6 +68,39 @@ def assert_quorum_before_decide(trace, decide_label, ack_mtype, quorum,
     return len(decides)
 
 
+def assert_unique_leader_per_view(trace, epoch_key, lead_label="lead"):
+    """Assert no two nodes declared leadership for the same epoch.
+
+    Post-hoc twin of the streaming
+    :class:`~repro.monitor.LeaderUniquenessMonitor`: scans ``lead``
+    milestones (emitted by raft/multi-paxos/pbft on becoming
+    leader/primary) keyed by ``epoch_key`` (``term``, ``ballot``,
+    ``view``) and raises :class:`CausalInvariantError` on a split brain
+    — or when the trace contains no leadership claim at all, so a test
+    can't pass vacuously.  Returns the map ``epoch -> node``.
+    """
+    leaders = {}
+    for event in trace:
+        if event.kind != LOCAL or event.mtype != lead_label:
+            continue
+        epoch = event.get(epoch_key)
+        if epoch is None:
+            continue
+        holder = leaders.get(epoch)
+        if holder is not None and holder != event.node:
+            raise CausalInvariantError(
+                "split brain: %s and %s both led %s=%s"
+                % (holder, event.node, epoch_key, epoch)
+            )
+        leaders[epoch] = event.node
+    if not leaders:
+        raise CausalInvariantError(
+            "no %r milestone in trace — invariant never exercised"
+            % (lead_label,)
+        )
+    return leaders
+
+
 def assert_sends_precede_delivers(trace):
     """Sanity invariant: every deliver's send happened-before it, and
     Lamport timestamps respect the edge.  Returns the delivery count."""

@@ -31,7 +31,8 @@ from .trace import Trace
 #: protocol-identifying fields (ballot, view, seq, ...) that causal
 #: invariants match on.  Values are stringified, so anything with a
 #: deterministic ``str`` works (e.g. :class:`~repro.core.ballot.Ballot`).
-DETAIL_ATTRS = ("ballot", "view", "seq", "round", "height", "term", "index")
+DETAIL_ATTRS = ("ballot", "view", "seq", "round", "height", "term", "index",
+                "digest")
 
 
 class Tracer:
@@ -48,6 +49,18 @@ class Tracer:
         self.trace = Trace()
         self._clocks = {}
         self._next_msg_id = 0
+        self._sinks = []
+
+    def subscribe(self, sink):
+        """Register a streaming sink called with every recorded event.
+
+        Sinks (e.g. the monitor hub) observe events online, in recording
+        order, the moment they happen — without waiting for run end.  A
+        sink must not schedule events or touch the RNG; like the tracer
+        itself it is a pure observer.
+        """
+        self._sinks.append(sink)
+        return sink
 
     # -- internals ---------------------------------------------------------
 
@@ -70,6 +83,9 @@ class Tracer:
             detail=detail,
         )
         self.trace.append(event)
+        if self._sinks:
+            for sink in self._sinks:
+                sink(event)
         return event
 
     @staticmethod

@@ -14,9 +14,10 @@ def cluster():
 
 @pytest.fixture
 def make_cluster():
-    """Factory: ``make_cluster(seed=…, delivery=…, trace=…)``."""
-    def factory(seed=0, delivery=None, trace=False):
-        return Cluster(seed=seed, delivery=delivery, trace=trace)
+    """Factory: ``make_cluster(seed=…, delivery=…, trace=…, monitors=…)``."""
+    def factory(seed=0, delivery=None, trace=False, monitors=False):
+        return Cluster(seed=seed, delivery=delivery, trace=trace,
+                       monitors=monitors)
     return factory
 
 

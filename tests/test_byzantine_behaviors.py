@@ -88,11 +88,16 @@ class TestBehaviorMechanics:
 
 class TestProtocolsUnderBehaviors:
     def test_pbft_survives_duplicating_replica(self, make_cluster):
-        cluster = make_cluster(seed=3)
+        cluster = make_cluster(seed=3, monitors=True)
+        cluster.attach_monitors("pbft", n=4, f=1)
         Duplicator(cluster, "r2", copies=2).install()
         result = run_pbft(cluster, f=1, n_clients=1, operations_per_client=3)
         assert all(c.done for c in result.clients)
         assert result.logs_consistent()
+        # Replayed messages must not read as equivocation or double
+        # executes — the monitors stay quiet under pure duplication.
+        cluster.monitors.finish()
+        assert cluster.monitors.ok, cluster.monitors.anomalies
 
     def test_pbft_survives_selectively_silent_backup(self, make_cluster):
         cluster = make_cluster(seed=4)
@@ -111,7 +116,8 @@ class TestProtocolsUnderBehaviors:
 
     def test_pbft_fails_liveness_beyond_budget_but_stays_safe(self,
                                                               make_cluster):
-        cluster = make_cluster(seed=6)
+        cluster = make_cluster(seed=6, monitors=True)
+        cluster.attach_monitors("pbft", n=4, f=1)
         # Two silent replicas exceed f=1: liveness gone, safety intact.
         Silence(cluster, "r2").install()
         Silence(cluster, "r3").install()
@@ -119,3 +125,24 @@ class TestProtocolsUnderBehaviors:
                           operations_per_client=2, horizon=400.0)
         assert not all(c.done for c in result.clients)
         assert result.logs_consistent()
+        # The monitors draw the same line the theory does: the liveness
+        # watchdog trips (no decisions), every safety monitor stays ok.
+        cluster.monitors.finish()
+        categories = {a.category for a in cluster.monitors.anomalies}
+        assert "liveness" in categories
+        assert "safety" not in categories
+
+    def test_equivocating_primary_trips_the_monitor(self, make_cluster):
+        from repro.protocols.pbft import EquivocatingPrimary
+        cluster = make_cluster(seed=4, monitors=True)
+        cluster.attach_monitors("pbft", n=4, f=1)
+        result = run_pbft(cluster, f=1, n_clients=1,
+                          operations_per_client=2,
+                          primary_class=EquivocatingPrimary)
+        assert result.logs_consistent()  # the protocol masks the attack...
+        cluster.monitors.finish()
+        tripped = [a for a in cluster.monitors.anomalies
+                   if a.monitor == "equivocation"]
+        assert tripped  # ...but the monitor still names the attacker
+        assert tripped[0].node == "r0"
+        assert tripped[0].context  # with its causal trail

@@ -73,7 +73,7 @@ class TestRaftChaos:
                               [n for n in names if n != victim]
                               + ["kvclient"])
             plan.heal_at(start + 30.0)
-        for i in range(10):
+        for _ in range(10):
             kv.incr("counter")
         assert kv.get("counter") == 10
         kv.settle(150.0)
@@ -81,12 +81,17 @@ class TestRaftChaos:
 
     def test_snapshot_pressure_with_crashes(self):
         from repro.protocols.raft import run_raft
-        cluster = Cluster(seed=88)
+        cluster = Cluster(seed=88, monitors=True)
+        cluster.attach_monitors("raft", n=3, f=1)
         result = run_raft(cluster, n_nodes=3, n_clients=2,
                           commands_per_client=12, crash_leader_at=30.0,
                           snapshot_threshold=4)
         assert all(c.done for c in result.clients)
         assert result.logs_consistent()
+        # The streaming battery agrees: no split brain, no divergent
+        # applies, even across the crash and the snapshot transfers.
+        cluster.monitors.finish()
+        assert cluster.monitors.ok, cluster.monitors.anomalies
         histories = [n.state_machine.history for n in result.nodes]
         longest = max(histories, key=len)
         assert len(longest) == 24
@@ -98,7 +103,9 @@ class TestPbftChaos:
     @pytest.mark.parametrize("seed", [5, 55])
     def test_crash_plus_lossy_network(self, seed):
         from repro.protocols.pbft import run_pbft
-        cluster = Cluster(seed=seed, delivery=UniformDelayModel(0.5, 1.5))
+        cluster = Cluster(seed=seed, delivery=UniformDelayModel(0.5, 1.5),
+                          monitors=True)
+        cluster.attach_monitors("pbft", n=4, f=1)
         plan = FaultPlan(cluster)
         plan.drop_messages(
             lambda src, dst, msg: cluster.sim.rng.random() < 0.05,
@@ -109,6 +116,12 @@ class TestPbftChaos:
                           horizon=5000.0)
         assert result.logs_consistent()
         assert all(c.done for c in result.clients)
+        # Crash + loss must not register as safety violations: no
+        # divergent executes, no split-view primaries, no equivocation.
+        cluster.monitors.finish()
+        safety = [a for a in cluster.monitors.anomalies
+                  if a.category == "safety"]
+        assert not safety, safety
 
     def test_two_byzantine_one_crashed_at_f2(self):
         from repro.protocols.pbft import run_pbft, SilentPrimary

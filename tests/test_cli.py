@@ -121,3 +121,51 @@ class TestTraceCli:
         assert main(["trace", protocol, "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "trace:" in out and "o---" in out
+
+
+class TestCheckCli:
+    """The ``repro check`` exit-code contract: 0 clean, 1 anomalies,
+    2 usage errors."""
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["check", "pbft", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance: pbft" in out
+        assert "PASS" in out
+
+    def test_injected_fault_exits_one_and_names_the_monitor(self, capsys):
+        assert main(["check", "pbft", "--seed", "0",
+                     "--faults", "equivocate"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "equivocation" in out
+        assert "r0" in out  # the offending primary, by name
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "report.json"
+        assert main(["check", "raft", "--seed", "0",
+                     "--json", str(path)]) == 0
+        capsys.readouterr()
+        report = json.loads(path.read_text())
+        assert report["protocol"] == "raft"
+        assert report["ok"] is True
+
+    def test_missing_protocol_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_unknown_protocol_is_usage_error(self, capsys):
+        assert main(["check", "smoke-signals"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_unsupported_fault_is_usage_error(self, capsys):
+        assert main(["check", "paxos", "--faults", "equivocate"]) == 2
+        out = capsys.readouterr().out
+        assert "fault" in out
+
+    def test_check_all_covers_the_table(self, capsys):
+        assert main(["check", "--all", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        for protocol in ("paxos", "pbft", "tendermint", "pow"):
+            assert "conformance: %s" % protocol in out

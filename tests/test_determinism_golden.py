@@ -27,7 +27,8 @@ from repro.__main__ import main
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
-PROTOCOLS = ("paxos", "pbft", "raft", "hotstuff")
+PROTOCOLS = ("paxos", "pbft", "raft", "hotstuff", "multi-paxos",
+             "tendermint")
 
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)
@@ -54,3 +55,20 @@ def test_stats_match_golden(protocol, tmp_path, capsys):
     assert out.read_bytes() == golden.read_bytes(), \
         "seed-0 %s stats diverged from tests/golden/%s" % (protocol,
                                                            golden.name)
+
+
+def test_conformance_report_matches_golden(tmp_path, capsys):
+    """The monitor subsystem inherits the determinism contract: a
+    same-seed conformance report is byte-identical.  Regenerate with
+
+        PYTHONPATH=src python -m repro check pbft --seed 0 \\
+            --json tests/golden/pbft_seed0.conformance.json
+    """
+    out = tmp_path / "conformance.json"
+    exit_code = main(["check", "pbft", "--seed", "0", "--json", str(out)])
+    capsys.readouterr()  # swallow the rendered report
+    assert exit_code == 0
+    golden = GOLDEN_DIR / "pbft_seed0.conformance.json"
+    assert out.read_bytes() == golden.read_bytes(), \
+        "seed-0 pbft conformance report diverged from tests/golden/%s" \
+        % golden.name

@@ -10,7 +10,10 @@ from repro.protocols.pbft import (
     SilentPrimary,
     run_pbft,
 )
-from repro.trace import assert_quorum_before_decide
+from repro.trace import (
+    assert_quorum_before_decide,
+    assert_unique_leader_per_view,
+)
 
 
 class TestConfiguration:
@@ -71,12 +74,16 @@ class TestNormalCase:
 class TestCrashedPrimary:
     def test_view_change_restores_liveness(self, make_cluster):
         for seed in (2, 6):
-            result = run_pbft(make_cluster(seed=seed), f=1, n_clients=1,
+            cluster = make_cluster(seed=seed, trace=True)
+            result = run_pbft(cluster, f=1, n_clients=1,
                               operations_per_client=3, crash_primary_at=5.0)
             assert all(c.done for c in result.clients), seed
             assert result.logs_consistent(), seed
             live_views = [r.view for r in result.replicas if not r.crashed]
             assert all(v >= 1 for v in live_views)
+            # Across the whole run, at most one replica ever became
+            # primary for any given view.
+            assert_unique_leader_per_view(cluster.trace, "view")
 
     def test_committed_requests_survive_view_change(self, make_cluster):
         # The prepared-certificate transfer: nothing executed before the

@@ -1,12 +1,13 @@
 """Tests for Raft: elections, log replication/repair, commit rules."""
 
 from repro.protocols.raft import LogEntry, RaftNode, Role, run_raft
+from repro.trace import assert_unique_leader_per_view
 
 
 class TestElections:
     def test_exactly_one_leader_per_term(self, make_cluster):
         for seed in range(5):
-            cluster = make_cluster(seed=seed)
+            cluster = make_cluster(seed=seed, trace=True)
             result = run_raft(cluster, n_nodes=5, n_clients=1,
                               commands_per_client=2)
             leaders_by_term = {}
@@ -17,6 +18,9 @@ class TestElections:
                     )
             for term, leaders in leaders_by_term.items():
                 assert len(leaders) == 1, (seed, term)
+            # Stronger than the end-state scan above: no two nodes ever
+            # *declared* leadership for one term, anywhere in the run.
+            assert_unique_leader_per_view(cluster.trace, "term")
 
     def test_election_restriction_rejects_stale_logs(self, cluster):
         names = ["n0", "n1", "n2"]
