@@ -1,0 +1,97 @@
+"""E25 (extension) — sharded fleet scaling: shards x replicas.
+
+The paper's modern deployments are fleets of consensus groups, not one
+group.  This experiment scales a :class:`~repro.shard.ShardedCluster`
+from a toy pair of shards toward hundreds of simulated nodes and
+records what the architecture buys and costs:
+
+* transaction throughput (virtual-time tps) as shards multiply — the
+  fleet parallelises across groups, so tps should not *degrade* as the
+  node count explodes;
+* the single-shard fast path's share of commits (two consensus rounds)
+  versus full 2PC-over-consensus (lock, prepare, replicated decision,
+  commit);
+* the wall-clock events/sec the simulator sustains hosting the fleet —
+  the harness-health number for this subsystem.
+
+Wall-clock rates are machine-dependent and recorded, not asserted;
+the structural assertions are that every workload transaction completes
+(no hangs) and per-shard replicas stay consistent.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke mode (three small
+configurations, one timing round).
+"""
+
+import os
+import time
+
+from repro.analysis import render_table
+from repro.shard import ShardedCluster
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+SEED = 7
+
+#: (shards, replicas, txns) — quick stops at 8x3 (the ISSUE floor),
+#: full climbs to 48x5 = 240 replicated nodes.
+CONFIGS = (
+    [(2, 3, 24), (4, 3, 32), (8, 3, 48)] if QUICK else
+    [(2, 3, 48), (4, 3, 64), (8, 3, 96), (16, 3, 96), (16, 5, 96),
+     (32, 5, 128), (48, 5, 128)]
+)
+
+CROSS_RATIO = 0.3
+
+
+def measure(shards, replicas, txns):
+    sharded = ShardedCluster(n_shards=shards, replicas=replicas,
+                             seed=SEED, key_space=1024)
+    start = time.perf_counter()
+    workload = sharded.run_workload(txns=txns, cross_ratio=CROSS_RATIO,
+                                    batch=16)
+    wall = time.perf_counter() - start
+    assert workload["committed"] + workload["aborted"] == txns
+    assert workload["committed"] > 0
+    sharded.settle()
+    assert sharded.check_consistency()
+    events = sharded.cluster.sim.events_processed
+    return {
+        "fleet": "%dx%d" % (shards, replicas),
+        "nodes": shards * replicas,
+        "txns": txns,
+        "committed": workload["committed"],
+        "cross-shard": workload["cross_shard"],
+        "fast-path": workload["fast_commits"],
+        "virtual tps": round(workload["tps"], 2),
+        "wall ms": round(wall * 1e3, 1),
+        "events/s": int(events / wall) if wall > 0 else 0,
+    }
+
+
+def test_shard_scaling(benchmark, report, bench_snapshot):
+    def run_all():
+        return [measure(*config) for config in CONFIGS]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # The fleet must not collapse as it grows: throughput at the
+    # largest configuration stays within 4x of the smallest (virtual
+    # tps is workload-bound, not node-count-bound).
+    assert rows[-1]["virtual tps"] > rows[0]["virtual tps"] / 4
+
+    text = render_table(
+        rows, title="E25 — sharded fleet scaling (shards x replicas)")
+    text += ("\nseed %d, cross-shard ratio %.1f; fast-path = single-shard "
+             "commits (2 consensus rounds),\nothers pay full "
+             "2PC-over-consensus with a replicated commit decision. "
+             "Wall rates are\nmachine-dependent and recorded, not "
+             "asserted." % (SEED, CROSS_RATIO))
+    report("E25_sharding", text)
+
+    snapshot = {"quick": QUICK}
+    for row in rows:
+        key = "fleet_%s" % row["fleet"].replace("x", "_")
+        snapshot["%s_virtual_tps" % key] = row["virtual tps"]
+        snapshot["%s_events_per_sec" % key] = row["events/s"]
+        snapshot["%s_fast_path" % key] = row["fast-path"]
+    bench_snapshot("E25_sharding", **snapshot)

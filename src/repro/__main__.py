@@ -156,6 +156,22 @@ def _run_ct(cluster):
         result.decided_values()[0]
 
 
+@_runner("shards")
+def _run_shards(cluster):
+    from .shard import ShardedCluster
+    sharded = ShardedCluster(n_shards=2, replicas=3, partitioning="range",
+                             key_space=16, cluster=cluster)
+    a, b = sharded.key(2), sharded.key(10)  # one key on each shard
+    sharded.put(a, 100)
+    sharded.put(b, 10)
+    outcome = sharded.transfer(a, b, 30)  # cross-shard: the full 2PC path
+    stats = sharded.stats()
+    return ("2 shards x 3 replicas: cross-shard transfer %s; "
+            "%d commits (%d fast-path), %d replicated decision(s)"
+            % (outcome, stats["commits"], stats["fast_commits"],
+               stats["decisions_replicated"]))
+
+
 def cmd_run(args):
     runner = _RUNNERS.get(args.protocol)
     if runner is None:
@@ -354,6 +370,90 @@ def cmd_mine(args):
     return 0
 
 
+def cmd_shards(args):
+    from .core.exceptions import LivenessFailure
+    from .shard import ShardedCluster
+    try:
+        sharded = ShardedCluster(
+            n_shards=args.shards, replicas=args.replicas, seed=args.seed,
+            protocol=args.protocol, partitioning=args.partitioning,
+            key_space=args.keys, monitors=args.monitors)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    if args.split and args.partitioning != "range":
+        print("--split needs --partitioning range (hash maps cannot split)")
+        return 2
+    print("fleet: %d shards x %d replicas = %d nodes (%s, %s-partitioned,"
+          " seed %d)" % (args.shards, args.replicas,
+                         args.shards * args.replicas, args.protocol,
+                         args.partitioning, args.seed))
+    failed = False
+    try:
+        first = sharded.run_workload(txns=max(args.txns // 2, 1),
+                                     cross_ratio=args.cross)
+        print("workload 1: %d/%d committed (%d cross-shard, %d fast-path)"
+              " in %.1f virtual time"
+              % (first["committed"], first["txns"], first["cross_shard"],
+                 first["fast_commits"], first["virtual_time"]))
+        if args.split:
+            split = sharded.split_shard("s0")
+            print("live split: s0 -> %s at %r, %d keys moved, %.1f virtual"
+                  " time (map epoch %d)"
+                  % (split["new_sid"], split["at"], split["moved_keys"],
+                     split["duration"], sharded.shard_map.epoch))
+        second = sharded.run_workload(txns=max(args.txns - args.txns // 2, 1),
+                                      cross_ratio=args.cross)
+        print("workload 2: %d/%d committed (%d cross-shard, %d fast-path)"
+              " in %.1f virtual time"
+              % (second["committed"], second["txns"], second["cross_shard"],
+                 second["fast_commits"], second["virtual_time"]))
+    except LivenessFailure as exc:
+        print("LIVENESS FAILURE: %s" % exc)
+        return 1
+    if args.crash_shard:
+        victim = "s%d" % (args.shards - 1)
+        alive = sharded.key(next(
+            i for i in range(args.keys)
+            if sharded.shard_of(sharded.key(i)) != victim))
+        dead = sharded.key(next(
+            i for i in range(args.keys)
+            if sharded.shard_of(sharded.key(i)) == victim))
+        sharded.cluster.sim.schedule(
+            5.0, lambda: sharded.crash_shard(victim))
+        txn = sharded.submit(
+            (alive, dead),
+            lambda reads: {alive: (reads[alive] or 0) - 1,
+                           dead: (reads[dead] or 0) + 1})
+        sharded.cluster.run_until(lambda: txn.outcome is not None,
+                                  until=sharded.now + 2000.0)
+        if txn.outcome is None:
+            print("CRASHED-SHARD TRANSACTION HUNG — 2PC blocked")
+            return 1
+        print("crashed shard %s mid-2PC: transaction %s (%d timeout "
+              "abort(s)); surviving shards still serve"
+              % (victim, txn.outcome, sharded.coordinator.timeout_aborts))
+        failed = failed or txn.outcome != "aborted"
+    sharded.settle()
+    consistent = sharded.check_consistency()
+    print("per-shard consistency: %s" % consistent)
+    failed = failed or not consistent
+    if args.monitors:
+        sharded.monitors.finish()
+        anomalies = sharded.monitors.anomalies
+        print("monitors: %d anomaly(ies)" % len(anomalies))
+        for anomaly in anomalies[:10]:
+            print("  %s" % (anomaly,))
+        failed = failed or bool(anomalies)
+    stats = sharded.stats()
+    print("totals: %d commits (%d fast-path, %d replicated decisions), "
+          "%d aborts, %d conflicts, %d reroutes"
+          % (stats["commits"], stats["fast_commits"],
+             stats["decisions_replicated"], stats["aborts"],
+             stats["conflicts"], stats["reroutes"]))
+    return 1 if failed else 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -436,6 +536,37 @@ def main(argv=None):
     mine_parser.add_argument("--interval", type=float, default=30.0)
     mine_parser.add_argument("--duration", type=float, default=5000.0)
     mine_parser.add_argument("--seed", type=int, default=0)
+    shards_parser = sub.add_parser(
+        "shards",
+        help="sharded fleet demo: N consensus groups behind one keyspace, "
+             "cross-shard 2PC transactions, optional live split and "
+             "whole-shard crash; exits 0 when clean, 1 on any hang, "
+             "anomaly or inconsistency")
+    shards_parser.add_argument("--shards", type=int, default=2)
+    shards_parser.add_argument("--replicas", type=int, default=3)
+    shards_parser.add_argument("--protocol", default="multi-paxos",
+                               choices=("multi-paxos", "raft", "mixed"))
+    shards_parser.add_argument("--partitioning", default="range",
+                               choices=("hash", "range"))
+    shards_parser.add_argument("--keys", type=int, default=64,
+                               help="generated key-universe size "
+                                    "(default 64)")
+    shards_parser.add_argument("--txns", type=int, default=24,
+                               help="workload size (default 24)")
+    shards_parser.add_argument("--cross", type=float, default=0.4,
+                               help="cross-shard transaction ratio "
+                                    "(default 0.4)")
+    shards_parser.add_argument("--seed", type=int, default=0)
+    shards_parser.add_argument("--split", action="store_true",
+                               help="live-split shard s0 between the two "
+                                    "workload halves (range only)")
+    shards_parser.add_argument("--crash-shard", action="store_true",
+                               help="crash one whole shard mid-2PC and "
+                                    "verify the transaction aborts "
+                                    "deterministically instead of hanging")
+    shards_parser.add_argument("--monitors", action="store_true",
+                               help="run under per-shard conformance "
+                                    "monitors")
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -448,6 +579,7 @@ def main(argv=None):
         "profile": cmd_profile,
         "kv": cmd_kv,
         "mine": cmd_mine,
+        "shards": cmd_shards,
     }[args.command]
     return handler(args)
 

@@ -155,6 +155,14 @@ EXPERIMENT_NOTES = {
             "monitor battery). Monitors-off throughput is the number the\n"
             "suite's perf work defends; the on/off ratio bounds what 'repro\n"
             "check' and monitored tests pay for their verdicts."),
+    "E25": ("Sharded fleet scaling (extension)",
+            "The modern-deployment shape: many consensus groups behind one\n"
+            "keyspace. A ShardedCluster scales from 2x3 to 48x5 = 240 simulated\n"
+            "nodes on one virtual clock; single-shard transactions take the\n"
+            "two-round fast path while cross-shard ones pay 2PC-over-consensus\n"
+            "with a replicated commit decision (Gray & Lamport). Virtual-time\n"
+            "throughput stays workload-bound - not node-count-bound - as the\n"
+            "fleet grows, which is the scaling argument for sharding itself."),
     "E20": ("Circumventing FLP (the oracle)",
             "Paper: 'adding oracle (failure detector)'. Measured: Chandra-Toueg\n"
             "rotating-coordinator consensus decides in 12/12 runs with a heartbeat\n"
@@ -191,6 +199,7 @@ EXPERIMENT_BENCHES = {
     "E22": "test_bench_optimistic.py",
     "E23": "test_bench_throughput.py",
     "E24": "test_bench_throughput.py",
+    "E25": "test_bench_shards.py",
 }
 
 

@@ -1,7 +1,7 @@
 """Core abstractions: ballots, quorums, taxonomy, C&C framework, nodes."""
 
 from .ballot import Ballot
-from .cluster import Cluster
+from .cluster import Cluster, ClusterGroup
 from .exceptions import (
     ConfigurationError,
     LivenessFailure,
@@ -40,6 +40,7 @@ __all__ = [
     "CCPhase",
     "CCTrace",
     "Cluster",
+    "ClusterGroup",
     "ConfigurationError",
     "FailureModel",
     "FlexibleQuorum",

@@ -16,6 +16,67 @@ from ..telemetry.registry import MetricsRegistry
 from ..trace.tracer import Tracer
 
 
+class ClusterGroup:
+    """One named consensus group inside a :class:`Cluster` fleet.
+
+    A group is a *namespace*: member nodes live on the cluster's shared
+    simulator and network but carry scoped names (``s0/r1``), so traces,
+    telemetry labels and monitor reports attribute every event to its
+    group.  Groups are how one simulation hosts a fleet of independent
+    protocol instances — the architecture sharded deployments
+    (:mod:`repro.shard`) stand on.
+    """
+
+    def __init__(self, cluster, gid):
+        self.cluster = cluster
+        self.gid = str(gid)
+        self.nodes = []
+
+    def member(self, local_name):
+        """The fleet-wide name of this group's ``local_name`` member."""
+        return "%s/%s" % (self.gid, local_name)
+
+    @property
+    def member_names(self):
+        """Fleet-wide names of every node added through this group."""
+        return tuple(node.name for node in self.nodes)
+
+    def add_node(self, factory, local_name, *args, **kwargs):
+        """Add ``factory(sim, network, member(local_name), ...)`` to the
+        group (and to the cluster).  Peer lists passed through ``args``
+        must already use fleet-wide (:meth:`member`) names."""
+        node = self.cluster.add_node(factory, self.member(local_name),
+                                     *args, **kwargs)
+        self.nodes.append(node)
+        return node
+
+    def add_nodes(self, factory, local_names, *args, **kwargs):
+        """Add one member per local name; see :meth:`add_node`."""
+        return [self.add_node(factory, name, *args, **kwargs)
+                for name in local_names]
+
+    def attach_monitors(self, protocol, f=0, n=None):
+        """Attach ``protocol``'s monitor battery *scoped to this group*:
+        monitors only observe events on member nodes and stamp anomalies
+        with the group id, so a fleet of same-protocol groups can be
+        watched without slots from different groups colliding."""
+        if n is None:
+            n = len(self.nodes)
+        return self.cluster.attach_monitors(protocol, n, f, group=self.gid,
+                                            nodes=self.member_names)
+
+    def start_all(self):
+        for node in self.nodes:
+            node.start()
+
+    def crashed_fraction(self):
+        crashed = sum(1 for node in self.nodes if node.crashed)
+        return crashed / len(self.nodes) if self.nodes else 0.0
+
+    def __repr__(self):
+        return "ClusterGroup(%r, %d nodes)" % (self.gid, len(self.nodes))
+
+
 class Cluster:
     """A ready-to-populate simulated deployment.
 
@@ -66,6 +127,7 @@ class Cluster:
         self.keys = KeyRegistry(seed=b"cluster-%d" % seed)
         self.usig_authority = UsigAuthority(seed=b"cluster-usig-%d" % seed)
         self.nodes = []
+        self.groups = {}
         if monitors:
             from ..monitor import MonitorHub
             self.monitors = MonitorHub(self.tracer, collector=self.metrics)
@@ -73,18 +135,38 @@ class Cluster:
             from ..monitor import NULL_HUB
             self.monitors = NULL_HUB
 
-    def attach_monitors(self, protocol, n, f=0):
+    def group(self, gid):
+        """The :class:`ClusterGroup` named ``gid``, created on first use.
+
+        Groups are the fleet API: each is an independent namespace of
+        nodes (``<gid>/<local>``) sharing this cluster's simulator,
+        network and observers.  One cluster may host any number of
+        groups — per-shard consensus groups, a coordinator tier, a
+        client tier — all advancing on one virtual clock.
+        """
+        gid = str(gid)
+        grp = self.groups.get(gid)
+        if grp is None:
+            grp = self.groups[gid] = ClusterGroup(self, gid)
+        return grp
+
+    def attach_monitors(self, protocol, n, f=0, group=None, nodes=None):
         """Populate the monitor hub with ``protocol``'s spec battery.
 
         Requires ``Cluster(monitors=True)``; raises ``ValueError``
         otherwise so a silently-null hub can't masquerade as coverage.
+        ``group`` labels every anomaly with the group id and ``nodes``
+        scopes the battery to events observed on those nodes — both are
+        required when several groups of the same protocol share one
+        trace, or their slots/epochs would collide.
         Returns the list of attached monitors.
         """
         from ..monitor import NULL_HUB, build_monitors, spec_for
         if self.monitors is NULL_HUB:
             raise ValueError(
                 "attach_monitors needs Cluster(monitors=True)")
-        battery = build_monitors(spec_for(protocol), n, f)
+        battery = build_monitors(spec_for(protocol), n, f, group=group,
+                                 nodes=nodes)
         self.monitors.extend(battery)
         return battery
 

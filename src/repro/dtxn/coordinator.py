@@ -75,23 +75,39 @@ class TxnCoordinator(Node):
         Callable key -> group_id (the partitioning function).
     max_attempts:
         Retry budget per transaction before giving up with "aborted".
+    participant_timeout:
+        Stall deadline per 2PC round, in virtual time.  A round that has
+        not gathered all its replies by then — a participant group
+        wholly crashed or partitioned away — aborts the transaction
+        deterministically (releasing locks on every still-reachable
+        group) instead of hanging it.  ``None`` disables the deadline.
     """
 
     def __init__(self, sim, network, name, groups, key_of_group,
-                 max_attempts=12, backoff=(2.0, 8.0)):
+                 max_attempts=12, backoff=(2.0, 8.0),
+                 participant_timeout=120.0):
         super().__init__(sim, network, name)
         self.groups = {gid: list(names) for gid, names in groups.items()}
         self.key_of_group = key_of_group
         self.max_attempts = max_attempts
         self.backoff = backoff
+        self.participant_timeout = participant_timeout
         self.leader_hint = {gid: names[0] for gid, names in self.groups.items()}
         self._txns = {}
         self._request_seq = itertools.count()
         self._pending = {}  # request_id -> (txid, group_id, kind)
         self._round = {}  # txid -> {"kind", "waiting": set, "replies": dict}
+        self._round_timer = {}  # txid -> stall-deadline Timer
         self.conflicts_seen = 0
         self.commits = 0
         self.aborts = 0
+        self.timeout_aborts = 0
+
+    def make_request(self, gid, command, request_id):
+        """The client-request message replicating ``command`` on group
+        ``gid``.  Subclasses override this (per group) to speak to
+        non-Multi-Paxos groups."""
+        return ClientRequest(command, request_id)
 
     # -- public -----------------------------------------------------------------
 
@@ -122,18 +138,24 @@ class TxnCoordinator(Node):
         })
 
     def _start_round(self, txn, kind, commands):
+        # Requests of a superseded round must stop retrying: a stale
+        # lock request landing after its round was aborted would take
+        # locks nobody will ever release through this round.
+        self._cancel_pending(txn.txid)
         self._round[txn.txid] = {
             "kind": kind,
             "waiting": set(commands),
             "replies": {},
         }
+        self._arm_round_timer(txn)
         for gid, command in commands.items():
             self._send_command(txn.txid, gid, kind, command)
 
     def _send_command(self, txid, gid, kind, command):
         request_id = "%s-%s-%d" % (txid, kind, next(self._request_seq))
         self._pending[request_id] = (txid, gid, kind, command)
-        self.send(self.leader_hint[gid], ClientRequest(command, request_id))
+        self.send(self.leader_hint[gid],
+                  self.make_request(gid, command, request_id))
         # Retry against another replica if the leader is slow/dead.
         self.set_timer(15.0, self._retry, request_id)
 
@@ -145,8 +167,53 @@ class TxnCoordinator(Node):
         names = self.groups[gid]
         current = self.leader_hint[gid]
         self.leader_hint[gid] = names[(names.index(current) + 1) % len(names)]
-        self.send(self.leader_hint[gid], ClientRequest(command, request_id))
+        self.send(self.leader_hint[gid],
+                  self.make_request(gid, command, request_id))
         self.set_timer(15.0, self._retry, request_id)
+
+    def _cancel_pending(self, txid):
+        """Forget every outstanding request of ``txid`` (their retry
+        timers die on the next firing)."""
+        stale = [rid for rid, entry in self._pending.items()
+                 if entry[0] == txid]
+        for rid in stale:
+            del self._pending[rid]
+
+    # -- stall deadline ----------------------------------------------------------
+
+    def _arm_round_timer(self, txn):
+        self._disarm_round_timer(txn.txid)
+        if self.participant_timeout is not None:
+            self._round_timer[txn.txid] = self.set_timer(
+                self.participant_timeout, self._round_stalled, txn)
+
+    def _disarm_round_timer(self, txid):
+        timer = self._round_timer.pop(txid, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _round_stalled(self, txn):
+        """The stall deadline fired with the round still open: some
+        participant never answered through every replica we tried.
+        2PC's answer is a *deterministic abort* — release locks on every
+        group that can still hear us (fire-and-forget; the unreachable
+        group holds no prepared writes we are obliged to keep) and
+        finish the transaction as aborted."""
+        round_ = self._round.get(txn.txid)
+        if round_ is None or not round_["waiting"] \
+                or txn.state is TxnState.DONE:
+            return  # round closed (e.g. waiting out a retry backoff)
+        self.timeout_aborts += 1
+        self._cancel_pending(txn.txid)
+        self._round.pop(txn.txid, None)
+        txn.state = TxnState.ABORTING
+        for gid in self.groups_of(txn):
+            request_id = "%s-timeout-abort-%d" % (txn.txid,
+                                                  next(self._request_seq))
+            self.send(self.leader_hint[gid],
+                      self.make_request(gid, ("txn_abort", txn.txid),
+                                        request_id))
+        self._finish(txn, "aborted")
 
     def handle_redirect(self, msg, src):
         entry = self._pending.get(msg.request_id)
@@ -155,7 +222,8 @@ class TxnCoordinator(Node):
         txid, gid, kind, command = entry
         if msg.leader_hint and msg.leader_hint in self.groups[gid]:
             self.leader_hint[gid] = msg.leader_hint
-        self.send(self.leader_hint[gid], ClientRequest(command, msg.request_id))
+        self.send(self.leader_hint[gid],
+                  self.make_request(gid, command, msg.request_id))
 
     def handle_clientreply(self, msg, src):
         entry = self._pending.pop(msg.request_id, None)
@@ -235,3 +303,5 @@ class TxnCoordinator(Node):
         else:
             self.aborts += 1
         self._round.pop(txn.txid, None)
+        self._disarm_round_timer(txn.txid)
+        self._cancel_pending(txn.txid)

@@ -129,6 +129,16 @@ class DistributedKV:
                     break
         return crashed
 
+    def crash_group(self, gid):
+        """Crash *every* replica of a group — the participant failure 2PC
+        cannot ride out; in-flight transactions must abort, not hang."""
+        crashed = []
+        for replica in self.replicas[gid]:
+            if not replica.crashed:
+                replica.crash()
+                crashed.append(replica.name)
+        return crashed
+
     def crash_group_leader(self, gid):
         for replica in self.replicas[gid]:
             if replica.is_leader and not replica.crashed:

@@ -75,9 +75,22 @@ class Monitor:
     def __init__(self):
         self.hub = None
         self.anomalies = []
+        #: Optional group label (shard/group id) stamped on anomalies.
+        self.group = None
+        #: Optional frozenset of node names this monitor observes; the
+        #: hub skips events on other nodes.  ``None`` = fleet-wide.
+        self.scope = None
 
     def attach(self, hub):
         self.hub = hub
+
+    def scope_to(self, group, nodes=None):
+        """Restrict this monitor to one group: anomalies are labeled
+        ``group`` and (when ``nodes`` is given) only events observed on
+        those nodes are dispatched to it.  Returns ``self``."""
+        self.group = group
+        self.scope = frozenset(nodes) if nodes is not None else None
+        return self
 
     def observe(self, event):
         """Called for every matching trace event, in recording order."""
@@ -94,6 +107,11 @@ class Monitor:
             time, seq = event.time, event.seq
         else:
             time, seq = self._now(), -1
+        if self.group is not None:
+            # Name the shard/group, not just the node — a fleet report
+            # is unreadable when every group's "r0" looks the same.
+            message = "[%s] %s" % (self.group, message)
+            detail = dict(detail, group=self.group)
         trace = self.hub.trace if self.hub is not None else None
         anomaly = Anomaly(
             monitor=self.name,
@@ -166,8 +184,11 @@ class MonitorHub:
         return self
 
     def observe(self, event):
+        node = event.node
         for monitor in self._dispatch.get(event.kind, self._catchall):
-            monitor.observe(event)
+            scope = monitor.scope
+            if scope is None or node in scope:
+                monitor.observe(event)
 
     def finish(self):
         """Run end-of-run verdicts once; returns all anomalies."""
@@ -202,6 +223,8 @@ class NullMonitor:
     category = SAFETY
     kinds = ()
     anomalies = ()
+    group = None
+    scope = None
 
     def attach(self, hub):
         pass

@@ -78,9 +78,20 @@ class MonitorSpec:
         return claim_for(self.protocol)
 
 
-def build_monitors(spec, n, f=0):
+def build_monitors(spec, n, f=0, group=None, nodes=None):
     """Instantiate the monitor battery for ``spec`` on an ``n``-node,
-    ``f``-fault cluster."""
+    ``f``-fault cluster.
+
+    ``group``/``nodes`` scope the battery to one consensus group inside
+    a fleet: anomalies carry the group label and (with ``nodes``) only
+    events observed on member nodes are dispatched, so several groups
+    running the *same* protocol can be watched on one shared trace
+    without their slots and epochs colliding.  Scoped batteries omit the
+    phase-conformance and complexity-envelope monitors — phase marks and
+    the transport message total are fleet-global streams that cannot be
+    attributed to a single group.
+    """
+    scoped = nodes is not None
     monitors = []
     if spec.decide_labels:
         monitors.append(AgreementMonitor(spec.decide_labels,
@@ -98,12 +109,13 @@ def build_monitors(spec, n, f=0):
         monitors.append(EquivocationMonitor(
             spec.proposal_mtypes, spec.proposal_epoch_keys,
             slot_key=spec.proposal_slot_key))
-    if spec.phase_protocols:
+    if spec.phase_protocols and not scoped:
         monitors.append(PhaseConformanceMonitor(
             spec.phase_protocols, spec.expected_phases,
             exceptional=spec.exceptional_phases,
             require_all=spec.require_all_phases))
-    if spec.complexity_exponent is not None and spec.decide_labels:
+    if spec.complexity_exponent is not None and spec.decide_labels \
+            and not scoped:
         tainting = spec.window_tainting_phases
         if tainting is None:
             tainting = spec.exceptional_phases
@@ -112,6 +124,9 @@ def build_monitors(spec, n, f=0):
             factor=spec.complexity_factor, slot_key=spec.slot_key,
             exceptional_phases=tainting,
             phase_protocols=spec.phase_protocols))
+    if group is not None or scoped:
+        for monitor in monitors:
+            monitor.scope_to(group, nodes)
     return monitors
 
 

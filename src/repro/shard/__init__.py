@@ -1,0 +1,35 @@
+"""Sharded multi-group SMR: many consensus groups, one keyspace.
+
+The package that turns "a replicated log" into "a database": a
+partitioned keyspace routed by a live :class:`ShardMap`, one consensus
+group per shard (Multi-Paxos or Raft, even mixed), cross-shard
+transactions via 2PC-over-consensus with a single-shard fast path, and
+live shard splitting under traffic.  See :class:`ShardedCluster` for
+the one-stop entry point and ``DESIGN.md`` ("Sharding") for the
+protocol walk-through.
+"""
+
+from .cluster import ShardedCluster
+from .group import PROTOCOL_ADAPTERS, ShardGroup
+from .keyspace import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardMap,
+    polynomial_hash,
+)
+from .rebalance import SplitOrchestrator
+from .state import ShardKVStateMachine
+from .txn import ShardTxnCoordinator
+
+__all__ = [
+    "HashPartitioner",
+    "PROTOCOL_ADAPTERS",
+    "RangePartitioner",
+    "ShardGroup",
+    "ShardKVStateMachine",
+    "ShardMap",
+    "ShardTxnCoordinator",
+    "ShardedCluster",
+    "SplitOrchestrator",
+    "polynomial_hash",
+]

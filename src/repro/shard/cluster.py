@@ -1,0 +1,341 @@
+"""ShardedCluster — a fleet of consensus groups behind one keyspace.
+
+The paper's modern systems (Spanner and its descendants) are not "a
+Paxos group"; they are *hundreds* of them, each owning a slice of the
+keyspace, stitched together by a routing table and a transaction layer.
+:class:`ShardedCluster` is that architecture on one simulator:
+
+* N shards × R replicas, every node on one shared
+  :class:`~repro.core.Cluster` (one virtual clock, one network, one
+  trace) — group namespaces (``s3/r1``) keep the fleet legible;
+* hash- or range-partitioned keyspace behind a live
+  :class:`~repro.shard.keyspace.ShardMap`;
+* per-shard consensus via Multi-Paxos or Raft (or a mix — shard by
+  shard, the SMR abstraction doesn't care);
+* cross-shard transactions through 2PC-over-consensus
+  (:class:`~repro.shard.txn.ShardTxnCoordinator`), single-shard ones
+  through the two-round fast path;
+* live splits under traffic via the
+  :class:`~repro.shard.rebalance.SplitOrchestrator`;
+* optional per-shard conformance monitors, each scoped to its group so
+  same-protocol shards never collide in one trace.
+"""
+
+import random
+
+from ..core.cluster import Cluster
+from ..core.exceptions import LivenessFailure
+from ..dtxn.coordinator import Transaction
+from ..monitor import NULL_HUB
+from .group import ShardGroup
+from .keyspace import HashPartitioner, RangePartitioner, ShardMap
+from .rebalance import SplitOrchestrator
+from .txn import ShardTxnCoordinator
+
+#: Width of generated key names — fixed so lexicographic order equals
+#: numeric order, which is what makes range partitioning intuitive.
+KEY_WIDTH = 6
+
+
+class ShardedCluster:
+    """A sharded, replicated, transactional deployment.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of consensus groups the keyspace starts divided across.
+    replicas:
+        Replication factor per shard (2f+1 for f crash faults).
+    protocol:
+        ``"multi-paxos"``, ``"raft"``, or ``"mixed"`` (alternating —
+        even shards Multi-Paxos, odd shards Raft).
+    partitioning:
+        ``"hash"`` (static, uniform) or ``"range"`` (contiguous,
+        splittable); range boundaries are placed evenly over the
+        ``key_space`` generated keys.
+    key_space:
+        Size of the generated key universe (``key(0) .. key(n-1)``);
+        workloads and range boundaries draw from it.
+    cluster:
+        An existing :class:`~repro.core.Cluster` to build on (the CLI
+        passes its traced/instrumented one); default builds a fresh one
+        from ``seed``/``monitors``.
+    """
+
+    def __init__(self, n_shards=2, replicas=3, seed=0,
+                 protocol="multi-paxos", partitioning="hash",
+                 key_space=256, monitors=False, cluster=None,
+                 delivery=None, op_timeout=3000.0):
+        if cluster is None:
+            cluster = Cluster(seed=seed, delivery=delivery,
+                              monitors=monitors)
+        self.cluster = cluster
+        self.seed = getattr(cluster.sim, "seed", seed)
+        self.n_replicas = replicas
+        self.protocol = protocol
+        self.partitioning = partitioning
+        self.key_space = key_space
+        self.op_timeout = op_timeout
+        self.shard_map = self._build_map(n_shards, partitioning, key_space)
+        self.shard_groups = {}
+        self._shard_counter = 0
+        for _ in range(n_shards):
+            self._build_shard()
+        self.coordinator = self.cluster.add_node(
+            ShardTxnCoordinator, "txn-coord", self.shard_map,
+            self.shard_groups.values())
+        self.rebalancer = self.cluster.add_node(
+            SplitOrchestrator, "rebalancer", self)
+        self._txid_counter = 0
+        self.cluster.start_all()
+        # Let every group's leader election finish before serving (Raft
+        # elections are timeout-driven, so mixed fleets need longer).
+        settle = 25.0 if self._uses_raft() else 10.0
+        self.cluster.sim.run_for(settle)
+
+    # -- construction helpers -----------------------------------------------
+
+    def _build_map(self, n_shards, partitioning, key_space):
+        if partitioning == "hash":
+            return ShardMap(HashPartitioner(n_shards))
+        if partitioning == "range":
+            boundaries = [self.key(i * key_space // n_shards)
+                          for i in range(1, n_shards)]
+            return ShardMap(RangePartitioner(boundaries))
+        raise ValueError("unknown partitioning %r "
+                         "(choices: hash, range)" % (partitioning,))
+
+    def _protocol_for(self, index):
+        if self.protocol == "mixed":
+            return "multi-paxos" if index % 2 == 0 else "raft"
+        return self.protocol
+
+    def _build_shard(self):
+        index = self._shard_counter
+        self._shard_counter += 1
+        gid = "s%d" % index
+        group = ShardGroup(self.cluster, gid, self.n_replicas,
+                           protocol=self._protocol_for(index))
+        self.shard_groups[gid] = group
+        if self.cluster.monitors is not NULL_HUB:
+            group.attach_monitors(f=(self.n_replicas - 1) // 2)
+        return group
+
+    def spawn_shard(self):
+        """Build, start and register a brand-new shard group mid-run
+        (the rebalancer calls this when a split needs a destination).
+        Returns the new shard id — not yet routed to; the caller flips
+        the :class:`ShardMap` when the data is in place."""
+        group = self._build_shard()
+        group.start()
+        self.coordinator.add_group(group)
+        return group.gid
+
+    def _uses_raft(self):
+        return any(group.protocol == "raft"
+                   for group in self.shard_groups.values())
+
+    # -- keyspace -----------------------------------------------------------
+
+    def key(self, i):
+        """The ``i``-th generated key (zero-padded, order-preserving)."""
+        return "k%0*d" % (KEY_WIDTH, i)
+
+    def shard_of(self, key):
+        return self.shard_map.shard_of(key)
+
+    # -- transactions -------------------------------------------------------
+
+    def run_transaction(self, keys, update, abort_if=None):
+        """Drive one transaction to completion; returns it."""
+        txn = self.submit(keys, update, abort_if=abort_if)
+        deadline = self.now + self.op_timeout
+        self.cluster.run_until(
+            lambda: txn.outcome is not None and txn.state.value == "done",
+            until=deadline)
+        if txn.outcome is None:
+            raise LivenessFailure("transaction %s did not finish" % txn.txid)
+        return txn
+
+    def submit(self, keys, update, abort_if=None):
+        """Submit without driving (callers batch and run themselves)."""
+        txid = "tx%d" % self._txid_counter
+        self._txid_counter += 1
+        txn = Transaction(txid, tuple(keys), update, abort_if=abort_if)
+        self.coordinator.submit(txn)
+        return txn
+
+    def put(self, key, value):
+        return self.run_transaction(
+            (key,), lambda reads: {key: value}).outcome
+
+    def get(self, key):
+        return self.run_transaction((key,), lambda reads: {}).result[key]
+
+    def transfer(self, src, dst, amount):
+        def update(reads):
+            return {src: (reads[src] or 0) - amount,
+                    dst: (reads[dst] or 0) + amount}
+
+        def overdraft(reads):
+            return (reads[src] or 0) < amount
+
+        return self.run_transaction((src, dst), update,
+                                    abort_if=overdraft).outcome
+
+    def total_of(self, keys):
+        txn = self.run_transaction(tuple(keys), lambda reads: {})
+        return sum(value or 0 for value in txn.result.values())
+
+    # -- workload -----------------------------------------------------------
+
+    def run_workload(self, txns=40, cross_ratio=0.25, batch=8, amount=5):
+        """A deterministic transfer workload: ``txns`` transactions in
+        waves of ``batch``, a ``cross_ratio`` fraction deliberately
+        cross-shard.  Transfers conserve the keyspace total (no
+        overdraft guard; balances may go negative), so
+        ``total_of(all keys) == 0`` afterwards is a safety check.
+        Returns summary stats including committed/virtual-time/tps.
+        """
+        rng = random.Random(0x5AD0 + self.seed)
+        started = self.now
+        finished = []
+        remaining = txns
+        while remaining > 0:
+            wave = []
+            for _ in range(min(batch, remaining)):
+                remaining -= 1
+                wave.append(self._random_transfer(rng, cross_ratio, amount))
+            deadline = self.now + self.op_timeout
+            self.cluster.run_until(
+                lambda: all(txn.outcome is not None for txn in wave),
+                until=deadline)
+            hung = [txn.txid for txn in wave if txn.outcome is None]
+            if hung:
+                raise LivenessFailure("workload transactions hung: %s"
+                                      % ", ".join(hung))
+            finished.extend(wave)
+        duration = self.now - started
+        committed = sum(1 for txn in finished
+                        if txn.outcome == "committed")
+        return {
+            "txns": txns,
+            "committed": committed,
+            "aborted": txns - committed,
+            "cross_shard": sum(
+                1 for txn in finished
+                if len({self.shard_of(k) for k in txn.keys}) > 1),
+            "fast_commits": self.coordinator.fast_commits,
+            "virtual_time": duration,
+            "tps": committed / duration if duration > 0 else 0.0,
+        }
+
+    def _random_transfer(self, rng, cross_ratio, amount):
+        src = self.key(rng.randrange(self.key_space))
+        dst = src
+        want_cross = rng.random() < cross_ratio
+        for _ in range(64):
+            candidate = self.key(rng.randrange(self.key_space))
+            if candidate == src:
+                continue
+            crosses = self.shard_of(candidate) != self.shard_of(src)
+            if crosses == want_cross:
+                dst = candidate
+                break
+            if dst == src:
+                dst = candidate  # fallback: any distinct key
+        delta = rng.randrange(1, amount + 1)
+
+        def update(reads, src=src, dst=dst, delta=delta):
+            return {src: (reads[src] or 0) - delta,
+                    dst: (reads[dst] or 0) + delta}
+
+        return self.submit((src, dst), update)
+
+    # -- splits -------------------------------------------------------------
+
+    def split_shard(self, sid, at=None, settle=400.0):
+        """Split shard ``sid`` live (range partitioning only); drives
+        the simulation until the split completes.  ``at`` defaults to
+        the midpoint of the shard's generated-key range."""
+        if at is None:
+            lo, hi = self.shard_map.bounds(sid)
+            lo_i = int(lo[1:]) if lo is not None else 0
+            hi_i = int(hi[1:]) if hi is not None else self.key_space
+            at = self.key((lo_i + hi_i) // 2)
+        split = self.rebalancer.split(sid, at)
+        deadline = self.now + settle
+        self.cluster.run_until(lambda: split["done"], until=deadline)
+        if not split["done"]:
+            raise LivenessFailure("split of %s at %r did not finish"
+                                  % (sid, at))
+        return split
+
+    # -- fault injection ----------------------------------------------------
+
+    def crash_shard(self, sid):
+        """Crash every replica of one shard (the 2PC-participant-death
+        scenario: in-flight cross-shard transactions must abort)."""
+        return self.shard_groups[sid].crash_all()
+
+    def crash_leader(self, sid):
+        return self.shard_groups[sid].crash_leader()
+
+    def crash_follower(self, sid):
+        return self.shard_groups[sid].crash_follower()
+
+    # -- verification -------------------------------------------------------
+
+    def settle(self, duration=80.0):
+        self.cluster.sim.run_for(duration)
+
+    def check_consistency(self):
+        """Every shard's replicas agree on log and state."""
+        return all(group.check_consistency()
+                   for group in self.shard_groups.values())
+
+    def stats(self):
+        """Deterministic run summary (same seed ⇒ same dict)."""
+        coordinator = self.coordinator
+        per_shard = {}
+        for gid, group in sorted(self.shard_groups.items()):
+            machines = group.machines(live_only=True) or \
+                group.machines(live_only=False)
+            best = max(machines, key=lambda sm: sm.ops_applied)
+            per_shard[gid] = {
+                "protocol": group.protocol,
+                "ops_applied": best.ops_applied,
+                "commits": best.commits,
+                "fast_applies": best.fast_applies,
+                "keys": len(best.data),
+            }
+        return {
+            "shards": len(self.shard_groups),
+            "replicas": self.n_replicas,
+            "partitioning": self.partitioning,
+            "epoch": self.shard_map.epoch,
+            "commits": coordinator.commits,
+            "aborts": coordinator.aborts,
+            "fast_commits": coordinator.fast_commits,
+            "decisions_replicated": coordinator.decisions_replicated,
+            "timeout_aborts": coordinator.timeout_aborts,
+            "conflicts": coordinator.conflicts_seen,
+            "reroutes": coordinator.reroutes,
+            "splits_done": self.rebalancer.splits_done,
+            "per_shard": per_shard,
+        }
+
+    # -- passthroughs -------------------------------------------------------
+
+    @property
+    def now(self):
+        return self.cluster.now
+
+    @property
+    def monitors(self):
+        return self.cluster.monitors
+
+    def __repr__(self):
+        return "ShardedCluster(%d shards x %d replicas, %s, %s)" % (
+            len(self.shard_groups), self.n_replicas, self.protocol,
+            self.partitioning)

@@ -1,0 +1,129 @@
+"""One shard = one consensus group, protocol-agnostic.
+
+:class:`ShardGroup` wraps a :class:`~repro.core.cluster.ClusterGroup`
+(the namespace ``<gid>/<local>`` on the shared simulator/network) with
+the protocol-specific knowledge a shard consumer needs: how to build a
+replica, how to phrase a client request to it, and how to recognise its
+leader.  Multi-Paxos and Raft groups expose the identical surface, so a
+fleet can mix them — the point of the SMR abstraction the paper keeps
+returning to: *any* log-replication protocol underneath, same shard on
+top.
+"""
+
+from ..protocols.multipaxos import ClientRequest, MultiPaxosReplica
+from ..protocols.raft import RaftClientRequest, RaftNode, Role
+from ..smr import check_log_consistency, check_state_machines
+from .state import ShardKVStateMachine
+
+#: protocol name -> (replica factory, client-request class, is-leader).
+PROTOCOL_ADAPTERS = {
+    "multi-paxos": (MultiPaxosReplica, ClientRequest,
+                    lambda node: node.is_leader),
+    "raft": (RaftNode, RaftClientRequest,
+             lambda node: node.role is Role.LEADER),
+}
+
+
+class ShardGroup:
+    """A replica group owning one shard of the keyspace.
+
+    Parameters
+    ----------
+    cluster:
+        The shared :class:`~repro.core.Cluster` (fleet host).
+    gid:
+        Shard/group id; becomes the node-name namespace (``s0/r2``).
+    n_replicas:
+        Replication factor (2f+1 for f crash faults).
+    protocol:
+        ``"multi-paxos"`` or ``"raft"`` — see :data:`PROTOCOL_ADAPTERS`.
+    """
+
+    def __init__(self, cluster, gid, n_replicas, protocol="multi-paxos",
+                 state_machine_factory=ShardKVStateMachine):
+        if protocol not in PROTOCOL_ADAPTERS:
+            raise ValueError("unknown shard protocol %r (choices: %s)"
+                             % (protocol,
+                                ", ".join(sorted(PROTOCOL_ADAPTERS))))
+        self.cluster = cluster
+        self.gid = str(gid)
+        self.protocol = protocol
+        factory, self._request_cls, self._is_leader = \
+            PROTOCOL_ADAPTERS[protocol]
+        self.group = cluster.group(self.gid)
+        local_names = ["r%d" % i for i in range(n_replicas)]
+        peers = [self.group.member(name) for name in local_names]
+        self.replicas = self.group.add_nodes(
+            factory, local_names, peers,
+            state_machine_factory=state_machine_factory)
+
+    # -- protocol surface ---------------------------------------------------
+
+    @property
+    def members(self):
+        """Fleet-wide replica names (what coordinators address)."""
+        return tuple(replica.name for replica in self.replicas)
+
+    def request(self, command, request_id):
+        """A client-request message replicating ``command`` here."""
+        return self._request_cls(command, request_id)
+
+    def leader(self):
+        """The live leader replica, or ``None`` mid-election."""
+        for replica in self.replicas:
+            if not replica.crashed and self._is_leader(replica):
+                return replica
+        return None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self):
+        self.group.start_all()
+        return self
+
+    def attach_monitors(self, f=0):
+        """This protocol's monitor battery, scoped to this group."""
+        return self.group.attach_monitors(self.protocol, f=f)
+
+    # -- fault injection ----------------------------------------------------
+
+    def crash_leader(self):
+        leader = self.leader()
+        if leader is not None:
+            leader.crash()
+        return leader.name if leader is not None else None
+
+    def crash_follower(self):
+        for replica in self.replicas:
+            if not replica.crashed and not self._is_leader(replica):
+                replica.crash()
+                return replica.name
+        return None
+
+    def crash_all(self):
+        """Kill the whole group — the shard goes dark."""
+        crashed = []
+        for replica in self.replicas:
+            if not replica.crashed:
+                replica.crash()
+                crashed.append(replica.name)
+        return crashed
+
+    # -- introspection ------------------------------------------------------
+
+    def machines(self, live_only=True):
+        return [replica.state_machine for replica in self.replicas
+                if not (live_only and replica.crashed)]
+
+    def committed_logs(self):
+        return [replica.committed_log() for replica in self.replicas]
+
+    def check_consistency(self):
+        """Replicas agree on the log and on state at equal progress."""
+        if not check_log_consistency(self.committed_logs()):
+            return False
+        return check_state_machines(self.machines())
+
+    def __repr__(self):
+        return "ShardGroup(%r, %s, %d replicas)" % (
+            self.gid, self.protocol, len(self.replicas))

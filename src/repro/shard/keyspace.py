@@ -1,0 +1,157 @@
+"""Sharded keyspace: partitioners and the routing table.
+
+A sharded deployment needs one answer fast and everywhere: *which shard
+owns this key?*  Two classic answers are implemented —
+
+* **hash partitioning** (:class:`HashPartitioner`): a deterministic
+  polynomial hash modulo the shard count.  Spreads any workload evenly
+  but pins the shard count forever — there is no cheap way to move a
+  *contiguous* slice of keys, so hash maps don't split.
+* **range partitioning** (:class:`RangePartitioner`): sorted split
+  points carve the key space into contiguous half-open buckets
+  ``[lo, hi)``.  Ranges cluster related keys and — the point — support
+  **splitting**: one bucket divides at a chosen key and only that
+  bucket's upper slice moves.
+
+:class:`ShardMap` is the routing table handed to coordinators: it binds
+bucket indexes to shard ids, carries a monotonically increasing
+``epoch`` (bumped on every reconfiguration, so any cached routing can be
+detected stale), and performs the split cutover atomically from the
+simulation's point of view — one call flips the map.
+
+Partitioners are immutable; :meth:`RangePartitioner.split` returns a new
+partitioner and :meth:`ShardMap.split` swaps it in.  That keeps "the
+routing state at epoch e" a value, not a mutation history.
+"""
+
+import bisect
+
+
+def polynomial_hash(key):
+    """The repo-wide deterministic string hash (stable across runs and
+    Python processes — unlike built-in ``hash``)."""
+    digest = 0
+    for char in str(key):
+        digest = (digest * 131 + ord(char)) % (1 << 30)
+    return digest
+
+
+class HashPartitioner:
+    """Static hash partitioning over ``n_buckets`` buckets."""
+
+    supports_split = False
+
+    def __init__(self, n_buckets):
+        if n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        self.n_buckets = n_buckets
+
+    def index_of(self, key):
+        return polynomial_hash(key) % self.n_buckets
+
+    def bounds(self, index):
+        """Hash buckets are not contiguous key ranges."""
+        raise ValueError("hash partitioning has no key-range bounds")
+
+    def split(self, index, at):
+        raise ValueError(
+            "hash partitioning cannot split: bucket membership is "
+            "h(key) %% n, not a contiguous range — use range partitioning")
+
+    def __repr__(self):
+        return "HashPartitioner(%d)" % self.n_buckets
+
+
+class RangePartitioner:
+    """Contiguous half-open buckets defined by sorted ``boundaries``.
+
+    ``m`` boundaries make ``m + 1`` buckets: bucket 0 is
+    ``(-inf, b[0])``, bucket ``i`` is ``[b[i-1], b[i])``, the last is
+    ``[b[m-1], +inf)``.  A key equal to a boundary belongs to the bucket
+    *above* it.
+    """
+
+    supports_split = True
+
+    def __init__(self, boundaries):
+        boundaries = tuple(boundaries)
+        if list(boundaries) != sorted(set(boundaries)):
+            raise ValueError("boundaries must be strictly increasing")
+        self.boundaries = boundaries
+        self.n_buckets = len(boundaries) + 1
+
+    def index_of(self, key):
+        return bisect.bisect_right(self.boundaries, key)
+
+    def bounds(self, index):
+        """``(lo, hi)`` of bucket ``index``; ``None`` marks an open end."""
+        if not 0 <= index < self.n_buckets:
+            raise IndexError(index)
+        lo = self.boundaries[index - 1] if index > 0 else None
+        hi = self.boundaries[index] if index < len(self.boundaries) else None
+        return (lo, hi)
+
+    def split(self, index, at):
+        """A new partitioner with bucket ``index`` divided at ``at``:
+        the lower slice ``[lo, at)`` keeps the index, the upper slice
+        ``[at, hi)`` becomes bucket ``index + 1``."""
+        lo, hi = self.bounds(index)
+        if (lo is not None and at <= lo) or (hi is not None and at >= hi):
+            raise ValueError(
+                "split key %r outside bucket %d's range [%r, %r)"
+                % (at, index, lo, hi))
+        boundaries = list(self.boundaries)
+        boundaries.insert(index, at)
+        return RangePartitioner(boundaries)
+
+    def __repr__(self):
+        return "RangePartitioner(%r)" % (self.boundaries,)
+
+
+class ShardMap:
+    """The routing table: key -> shard id, reconfigurable under traffic.
+
+    Binds a partitioner's bucket indexes to stable shard ids (bucket
+    order changes on split; ids never do).  ``epoch`` increments on
+    every reconfiguration — coordinators that recompute routing per
+    attempt pick up the new map automatically, and anything that cached
+    a route can compare epochs to detect staleness.
+    """
+
+    def __init__(self, partitioner, shard_ids=None):
+        self.partitioner = partitioner
+        if shard_ids is None:
+            shard_ids = ["s%d" % i for i in range(partitioner.n_buckets)]
+        if len(shard_ids) != partitioner.n_buckets:
+            raise ValueError("need one shard id per bucket")
+        self.shards = list(shard_ids)
+        self.epoch = 0
+
+    @property
+    def shard_ids(self):
+        return tuple(self.shards)
+
+    def shard_of(self, key):
+        return self.shards[self.partitioner.index_of(key)]
+
+    def bounds(self, sid):
+        """Key-range ``(lo, hi)`` owned by shard ``sid`` (range maps only)."""
+        return self.partitioner.bounds(self.shards.index(sid))
+
+    def split(self, sid, at, new_sid):
+        """Cut shard ``sid``'s bucket at key ``at``: ``sid`` keeps
+        ``[lo, at)``, ``new_sid`` takes ``[at, hi)``.  Bumps ``epoch``.
+        This is the *routing* cutover only — data movement is the
+        rebalancer's job and must complete before calling this.
+        """
+        if new_sid in self.shards:
+            raise ValueError("shard id %r already routed" % (new_sid,))
+        index = self.shards.index(sid)
+        self.partitioner = self.partitioner.split(index, at)
+        self.shards.insert(index + 1, new_sid)
+        self.epoch += 1
+        return self
+
+    def __repr__(self):
+        return "ShardMap(epoch=%d, %s)" % (self.epoch,
+                                           "/".join(self.shards))

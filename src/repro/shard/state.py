@@ -1,0 +1,123 @@
+"""The per-shard replicated state machine.
+
+Extends the transactional KV machine (:mod:`repro.dtxn.state_machine`)
+with the commands a *sharded* deployment needs in its log:
+
+* ``txn_apply`` — the single-shard fast path: writes applied and locks
+  released in **one** log entry, so a transaction touching one shard
+  commits in two consensus rounds (lock, apply) instead of 2PC's four.
+* ``txn_decide`` — the coordinator's commit decision as a replicated
+  record (Gray & Lamport's *Consensus on Transaction Commit*): once a
+  shard's log holds the decision, a coordinator crash cannot orphan the
+  outcome.  Aborts are presumed and never recorded.
+* ``shard_freeze`` / ``shard_install`` / ``shard_purge`` — the live
+  split protocol's three replicated steps: drain-and-snapshot a key
+  range, bulk-load it on the destination group, drop it at the source
+  leaving a tombstone so stale routing is *told* it is stale.
+
+Everything here is a log command, so every replica of a shard reaches
+identical lock tables, staged writes, frozen ranges and tombstones —
+the migration itself is crash-tolerant the same way transactions are.
+"""
+
+from ..dtxn.state_machine import TxnKVStateMachine
+
+
+def _in_range(key, lo, hi):
+    """Membership in half-open ``[lo, hi)``; ``None`` = open end."""
+    return (lo is None or key >= lo) and (hi is None or key < hi)
+
+
+class ShardKVStateMachine(TxnKVStateMachine):
+    """Transactional KV machine plus fast-path commit, replicated
+    commit decisions, and range-migration state.
+
+    Extra commands (beyond :class:`TxnKVStateMachine`'s):
+
+    * ``("txn_apply", txid, writes)`` → ``"applied"`` (writes applied,
+      locks released, all in this one entry) or ``"no-locks"``.
+    * ``("txn_decide", txid, verdict)`` → ``"decided"`` (records the
+      coordinator's verdict durably in ``decisions``).
+    * ``("shard_freeze", lo, hi)`` → ``("frozen", items)`` snapshotting
+      ``[lo, hi)`` and refusing new locks there, or ``("busy", holder)``
+      while any live transaction still holds a lock in the range (the
+      *drain*: the rebalancer retries until holders finish).
+    * ``("shard_install", items)`` → ``"installed"`` (bulk load).
+    * ``("shard_purge", lo, hi)`` → ``"purged"`` (drops the frozen range
+      and tombstones it: later locks there answer ``("moved", ...)``).
+
+    ``txn_lock`` is extended to refuse frozen (``("frozen", range)``)
+    and moved (``("moved", range)``) keys — coordinators treat both like
+    conflicts and re-route on retry, which is what makes a split
+    invisible to the workload beyond a latency blip.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.decisions = {}  # txid -> "commit"
+        self.frozen = []  # list of (lo, hi) ranges being migrated out
+        self.moved = []  # list of (lo, hi) tombstones (migrated away)
+        self.fast_applies = 0
+
+    # -- fast path ----------------------------------------------------------
+
+    def _op_txn_apply(self, txid, writes):
+        writes = dict(writes)
+        for key in writes:
+            if self.locks.get(key) != txid:
+                return "no-locks"
+        for key, value in writes.items():
+            self.data[key] = value
+        self._release(txid)
+        self.commits += 1
+        self.fast_applies += 1
+        return "applied"
+
+    # -- replicated commit decision -----------------------------------------
+
+    def _op_txn_decide(self, txid, verdict):
+        self.decisions[txid] = verdict
+        return "decided"
+
+    # -- migration ----------------------------------------------------------
+
+    def _op_shard_freeze(self, lo, hi):
+        holders = sorted({txid for key, txid in self.locks.items()
+                          if _in_range(key, lo, hi)})
+        if holders:
+            return ("busy", holders[0])
+        self.frozen.append((lo, hi))
+        items = tuple(sorted((key, value) for key, value in self.data.items()
+                             if _in_range(key, lo, hi)))
+        return ("frozen", items)
+
+    def _op_shard_install(self, items):
+        for key, value in items:
+            self.data[key] = value
+        return "installed"
+
+    def _op_shard_purge(self, lo, hi):
+        for key in [k for k in self.data if _in_range(k, lo, hi)]:
+            del self.data[key]
+        if (lo, hi) in self.frozen:
+            self.frozen.remove((lo, hi))
+        self.moved.append((lo, hi))
+        return "purged"
+
+    # -- extended lock discipline -------------------------------------------
+
+    def _blocked_range(self, keys):
+        for key in keys:
+            for lo, hi in self.moved:
+                if _in_range(key, lo, hi):
+                    return ("moved", (lo, hi))
+            for lo, hi in self.frozen:
+                if _in_range(key, lo, hi):
+                    return ("frozen", (lo, hi))
+        return None
+
+    def _op_txn_lock(self, txid, keys):
+        blocked = self._blocked_range(keys)
+        if blocked is not None:
+            return blocked
+        return super()._op_txn_lock(txid, keys)

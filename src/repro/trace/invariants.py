@@ -39,30 +39,41 @@ def quorum_causally_precedes(trace, event, ack_mtype, quorum,
 
 
 def assert_quorum_before_decide(trace, decide_label, ack_mtype, quorum,
-                                link_keys=(), node=None):
+                                link_keys=(), node=None, group=None,
+                                nodes=None):
     """Assert every ``decide_label`` milestone has a causally preceding
     quorum of ``ack_mtype`` deliveries; returns how many were checked.
+
+    ``group`` scopes the check to one consensus group in a fleet: only
+    milestones on that group's nodes are examined (``nodes`` names them
+    explicitly; omitted, the fleet convention ``<group>/<local>`` is
+    assumed) and any violation names the group, not just the node.
 
     Raises :class:`CausalInvariantError` if the trace contains no such
     milestone (the invariant was never exercised) or any milestone lacks
     its quorum.
     """
+    prefix = "%s/" % group if (group is not None and nodes is None) else None
+    scope = frozenset(nodes) if nodes is not None else None
     decides = [
         e for e in trace
         if e.kind == LOCAL and e.mtype == decide_label
         and (node is None or e.node == node)
+        and (scope is None or e.node in scope)
+        and (prefix is None or e.node.startswith(prefix))
     ]
+    where = "" if group is None else " in group %s" % group
     if not decides:
         raise CausalInvariantError(
-            "no %r milestone in trace — invariant never exercised"
-            % (decide_label,)
+            "no %r milestone%s in trace — invariant never exercised"
+            % (decide_label, where)
         )
     for event in decides:
         if not quorum_causally_precedes(trace, event, ack_mtype, quorum,
                                         link_keys):
             raise CausalInvariantError(
-                "%s on %s at t=%.3f lacks a causally preceding quorum "
-                "of %d %r deliveries" % (decide_label, event.node,
+                "%s on %s%s at t=%.3f lacks a causally preceding quorum "
+                "of %d %r deliveries" % (decide_label, event.node, where,
                                          event.time, quorum, ack_mtype)
             )
     return len(decides)

@@ -28,7 +28,7 @@ from repro.__main__ import main
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 PROTOCOLS = ("paxos", "pbft", "raft", "hotstuff", "multi-paxos",
-             "tendermint")
+             "tendermint", "shards")
 
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)

@@ -121,6 +121,41 @@ class TestDistributedKV:
         assert db.transfer(a, b, 10) == "committed"
         assert db.get(a) == 20 and db.get(b) == 40
 
+    def test_unreachable_participant_aborts_not_hangs(self):
+        # Satellite regression: a wholly crashed participant group must
+        # produce a deterministic timeout-abort, never a hung txn.
+        db = DistributedKV(n_partitions=2, replicas_per_partition=3, seed=11)
+        a, b = _two_keys_in_distinct_groups(db)
+        db.put(a, 50)
+        db.put(b, 50)
+        db.crash_group(db.group_of(b))
+        txn = Transaction("doomed", (a, b),
+                          lambda r: {a: r[a] - 5, b: (r[b] or 0) + 5})
+        db.coordinator.submit(txn)
+        db.cluster.run_until(lambda: txn.outcome is not None, until=2000.0)
+        assert txn.outcome == "aborted"
+        assert txn.state.value == "done"
+        assert db.coordinator.timeout_aborts >= 1
+        # Locks on the surviving group were released: it still serves.
+        assert db.run_transaction(
+            (a,), lambda r: {a: r[a] + 1}).outcome == "committed"
+
+    def test_timeout_abort_is_deterministic(self):
+        def doomed_finish_time(seed):
+            db = DistributedKV(n_partitions=2, replicas_per_partition=3,
+                               seed=seed)
+            a, b = _two_keys_in_distinct_groups(db)
+            db.put(a, 50)
+            db.crash_group(db.group_of(b))
+            txn = Transaction("doomed", (a, b), lambda r: {b: 1})
+            db.coordinator.submit(txn)
+            db.cluster.run_until(lambda: txn.outcome is not None,
+                                 until=2000.0)
+            assert txn.outcome == "aborted"
+            return txn.finished_at
+
+        assert doomed_finish_time(13) == doomed_finish_time(13)
+
     def test_prepared_writes_survive_in_group_log(self):
         # The point of 2PC-over-Paxos: a prepare is a *replicated* log
         # entry, visible in every group replica's committed log.

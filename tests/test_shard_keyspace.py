@@ -1,0 +1,135 @@
+"""Property tests for the sharded keyspace: partitioners and ShardMap.
+
+Hypothesis drives random key sets through hash and range assignment,
+then through splits, pinning the routing laws the rest of the shard
+subsystem leans on: every key has exactly one home, assignment is
+deterministic, and a split moves exactly the keys in the split-off
+range — nothing else.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardMap,
+    polynomial_hash,
+)
+
+keys = st.text(alphabet="abcdefghijklmnop0123456789", min_size=1,
+               max_size=12)
+key_sets = st.sets(keys, min_size=1, max_size=40)
+
+
+class TestHashPartitioner:
+    @given(key_sets, st.integers(min_value=1, max_value=16))
+    def test_every_key_has_exactly_one_bucket(self, key_set, n):
+        part = HashPartitioner(n)
+        for key in key_set:
+            index = part.index_of(key)
+            assert 0 <= index < n
+            assert part.index_of(key) == index  # deterministic
+
+    @given(keys)
+    def test_hash_is_stable_not_pythons(self, key):
+        # Built-in hash() is salted per process; ours must not be.
+        assert polynomial_hash(key) == polynomial_hash(str(key))
+        assert 0 <= polynomial_hash(key) < (1 << 30)
+
+    def test_hash_buckets_cannot_split(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(4).split(0, "m")
+        with pytest.raises(ValueError):
+            HashPartitioner(4).bounds(0)
+
+
+class TestRangePartitioner:
+    @given(key_sets, st.sets(keys, min_size=1, max_size=6))
+    def test_key_lands_in_bucket_whose_bounds_contain_it(self, key_set,
+                                                         boundary_set):
+        part = RangePartitioner(sorted(boundary_set))
+        for key in key_set:
+            lo, hi = part.bounds(part.index_of(key))
+            assert lo is None or key >= lo
+            assert hi is None or key < hi
+
+    @given(st.sets(keys, min_size=2, max_size=6))
+    def test_boundary_key_belongs_to_upper_bucket(self, boundary_set):
+        boundaries = sorted(boundary_set)
+        part = RangePartitioner(boundaries)
+        for position, boundary in enumerate(boundaries):
+            assert part.index_of(boundary) == position + 1
+
+    def test_boundaries_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            RangePartitioner(["b", "a"])
+        with pytest.raises(ValueError):
+            RangePartitioner(["a", "a"])
+
+    def test_split_is_immutable(self):
+        part = RangePartitioner(["m"])
+        wider = part.split(0, "f")
+        assert part.boundaries == ("m",)
+        assert wider.boundaries == ("f", "m")
+
+    def test_split_outside_bucket_refused(self):
+        part = RangePartitioner(["m"])
+        with pytest.raises(ValueError):
+            part.split(0, "m")  # at == hi
+        with pytest.raises(ValueError):
+            part.split(1, "m")  # at == lo
+
+
+class TestShardMap:
+    @given(key_sets, st.integers(min_value=1, max_value=8))
+    def test_hash_map_routes_every_key(self, key_set, n):
+        shard_map = ShardMap(HashPartitioner(n))
+        ids = set(shard_map.shard_ids)
+        assert len(ids) == n
+        for key in key_set:
+            assert shard_map.shard_of(key) in ids
+
+    @settings(max_examples=200)
+    @given(key_sets, st.sets(keys, min_size=1, max_size=6), keys)
+    def test_split_moves_exactly_the_upper_slice(self, key_set,
+                                                 boundary_set, at):
+        shard_map = ShardMap(RangePartitioner(sorted(boundary_set)))
+        victim = shard_map.shard_of(at)
+        lo, _hi = shard_map.bounds(victim)
+        if lo is not None and at == lo:
+            # A split at the bucket's own lower bound is degenerate and
+            # must be refused, not silently create an empty shard.
+            with pytest.raises(ValueError):
+                shard_map.split(victim, at, "new")
+            return
+        before = {key: shard_map.shard_of(key) for key in key_set}
+        epoch = shard_map.epoch
+        shard_map.split(victim, at, "new")
+        assert shard_map.epoch == epoch + 1
+        for key in key_set:
+            after = shard_map.shard_of(key)
+            if before[key] != victim:
+                # Keys on other shards must be untouched by the split.
+                assert after == before[key]
+            elif key < at:
+                assert after == victim
+            else:
+                assert after == "new"
+
+    def test_split_routing_after_cutover(self):
+        shard_map = ShardMap(RangePartitioner(["k4"]))
+        assert shard_map.shard_of("k2") == "s0"
+        assert shard_map.shard_of("k6") == "s1"
+        shard_map.split("s1", "k7", "s2")
+        assert shard_map.shard_of("k6") == "s1"
+        assert shard_map.shard_of("k7") == "s2"
+        assert shard_map.shard_of("k9") == "s2"
+        assert shard_map.bounds("s1") == ("k4", "k7")
+        assert shard_map.bounds("s2") == ("k7", None)
+
+    def test_duplicate_shard_id_refused(self):
+        shard_map = ShardMap(RangePartitioner(["m"]))
+        with pytest.raises(ValueError):
+            shard_map.split("s1", "p", "s0")
