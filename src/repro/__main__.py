@@ -262,21 +262,23 @@ def cmd_stats(args):
 def cmd_check(args):
     from .monitor import (
         check_protocols,
+        fleet_checks,
         render_report,
         run_check,
         supported_faults,
         write_report,
     )
+    checkable = check_protocols() + fleet_checks()
     if args.all:
-        protocols = check_protocols()
+        protocols = checkable
     elif args.protocol is None:
         print("usage: repro check <protocol> [--seed N] [--faults KIND] "
               "[--json PATH]  (or --all); protocols: %s"
-              % ", ".join(check_protocols()))
+              % ", ".join(checkable))
         return 2
-    elif args.protocol not in check_protocols():
+    elif args.protocol not in checkable:
         print("unknown protocol %r; choices: %s"
-              % (args.protocol, ", ".join(check_protocols())))
+              % (args.protocol, ", ".join(checkable)))
         return 2
     else:
         protocols = [args.protocol]
@@ -306,6 +308,22 @@ def cmd_check(args):
     return 1 if failed else 0
 
 
+#: Scenario scale (n, f) per runnable protocol, for ``profile
+#: --monitors``: the battery needs the cluster size the runner actually
+#: drives.  Protocols absent here attach their own monitors (shards) or
+#: have no spec battery.
+_MONITOR_SCALES = {
+    "paxos": (5, 2),
+    "multi-paxos": (5, 2),
+    "raft": (5, 2),
+    "pbft": (4, 1),
+    "hotstuff": (4, 1),
+    "tendermint": (4, 1),
+    "ben-or": (5, 1),
+    "chandra-toueg": (5, 2),
+}
+
+
 def cmd_profile(args):
     """cProfile one protocol run and print the hottest call sites.
 
@@ -321,7 +339,13 @@ def cmd_profile(args):
         print("unknown or non-runnable protocol %r; choices: %s"
               % (args.protocol, ", ".join(sorted(_RUNNERS))))
         return 1
-    cluster = Cluster(seed=args.seed, telemetry=args.telemetry)
+    cluster = Cluster(seed=args.seed, telemetry=args.telemetry,
+                      monitors=args.monitors)
+    if args.monitors:
+        scale = _MONITOR_SCALES.get(args.protocol)
+        if scale is not None:
+            cluster.attach_monitors(args.protocol, *scale)
+        # Protocols not in the map (shards) attach their own battery.
     profiler = cProfile.Profile()
     profiler.enable()
     summary = runner(cluster)
@@ -329,9 +353,14 @@ def cmd_profile(args):
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats("cumulative").print_stats(args.top)
     print("%s: %s" % (args.protocol, summary))
-    print("profiled: %d events | %d messages | virtual time: %.1f"
-          % (cluster.sim.events_processed, cluster.metrics.messages_total,
-             cluster.now))
+    line = ("profiled: %d events | %d messages | virtual time: %.1f"
+            % (cluster.sim.events_processed,
+               cluster.metrics.messages_total, cluster.now))
+    if args.monitors:
+        anomalies = cluster.monitors.finish()
+        line += " | monitors: %d, %d anomaly(ies)" % (
+            len(cluster.monitors.monitors), len(anomalies))
+    print(line)
     return 0
 
 
@@ -527,6 +556,10 @@ def main(argv=None):
     profile_parser.add_argument("--telemetry", action="store_true",
                                 help="profile with telemetry enabled (the "
                                      "instrumented hot path)")
+    profile_parser.add_argument("--monitors", action="store_true",
+                                help="profile with the tracer and the "
+                                     "protocol's full monitor battery "
+                                     "attached (the monitored hot path)")
     kv_parser = sub.add_parser("kv", help="replicated-KV demo")
     kv_parser.add_argument("--protocol", default="multi-paxos",
                            choices=("multi-paxos", "raft", "pbft"))

@@ -154,7 +154,19 @@ EXPERIMENT_NOTES = {
             "tracer, no per-event work at all) versus on (tracer + full\n"
             "monitor battery). Monitors-off throughput is the number the\n"
             "suite's perf work defends; the on/off ratio bounds what 'repro\n"
-            "check' and monitored tests pay for their verdicts."),
+            "check' and monitored tests pay for their verdicts.\n"
+            "\n"
+            "The subscription-dispatch rebuild cut the monitored-pbft ratio\n"
+            "from 3.4x to ~1.9x (multi-paxos ~1.4x). Top-5 profile frames\n"
+            "(tottime, 'repro profile pbft --monitors') before: tracer._emit\n"
+            "(eager TraceEvent per event), tracer._message_detail (eager\n"
+            "stringify), monitor.base observe (every event to every\n"
+            "monitor), network.send, simulator.run. After: network.send,\n"
+            "tracer.on_deliver, tracer.on_send, simulator.run,\n"
+            "network._deliver_traced - the observability frames dropped ~3x\n"
+            "and the transport itself is back on top. Ring recording alone\n"
+            "costs ~1.4x in pure Python, which floors the ratio; the CI\n"
+            "perf gate (repro.telemetry.perfgate) caps it at 2.5x."),
     "E25": ("Sharded fleet scaling (extension)",
             "The modern-deployment shape: many consensus groups behind one\n"
             "keyspace. A ShardedCluster scales from 2x3 to 48x5 = 240 simulated\n"

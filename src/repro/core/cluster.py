@@ -105,12 +105,18 @@ class Cluster:
         is the :data:`~repro.monitor.NULL_HUB` twin and the run pays
         nothing.  Like the tracer, monitors are pure observers: enabling
         them never changes a run's behaviour.
+    trace_capacity:
+        Optional ring-buffer bound for the tracer: keep only the newest
+        N events (flight-recorder mode for long runs).  ``None`` keeps
+        everything — required for golden exports and whole-run causal
+        queries.
     """
 
     def __init__(self, seed=0, delivery=None, trace=False, telemetry=False,
-                 monitors=False):
+                 monitors=False, trace_capacity=None):
         self.sim = Simulator(seed=seed)
-        self.tracer = Tracer(self.sim) if (trace or monitors) else None
+        self.tracer = (Tracer(self.sim, capacity=trace_capacity)
+                       if (trace or monitors) else None)
         self.sim.tracer = self.tracer
         self.telemetry = MetricsRegistry() if telemetry else None
         if self.telemetry is not None:

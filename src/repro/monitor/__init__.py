@@ -35,6 +35,7 @@ from .base import (
 )
 from .conformance import (
     check_protocols,
+    fleet_checks,
     render_report,
     report_to_json,
     run_check,
@@ -85,6 +86,7 @@ __all__ = [
     "build_monitors",
     "run_check",
     "check_protocols",
+    "fleet_checks",
     "supported_faults",
     "render_report",
     "report_to_json",

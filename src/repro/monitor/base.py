@@ -1,12 +1,18 @@
 """Monitor base class, the streaming hub, and zero-cost null twins.
 
-The hub subscribes to the :class:`~repro.trace.Tracer` as a streaming
-sink: every trace event is pushed to the monitors the moment it is
-recorded, so invariants are evaluated *online*, event by event, while
-the simulator runs.  Monitors declare the event kinds they care about
-(``kinds``) and the hub dispatches per kind, so an agreement monitor
-never sees a SEND and the hot path stays a dict lookup plus a short
-tuple walk.
+The hub registers each monitor's *declared interest set* with the
+:class:`~repro.trace.Tracer`'s typed subscription tables: a monitor
+states, via :meth:`Monitor.interests`, exactly which event kinds and
+``mtype`` values it evaluates, and the tracer calls it for those events
+only — an agreement monitor is invoked for decide milestones, never for
+the million sends in between, and events nobody registered for are
+never materialized at all.  Invariants are still evaluated *online*,
+event by event, while the simulator runs.
+
+Monitors that merely *count* events (the liveness watchdog) ride the
+tracer's counter channel instead — a ``tick(kind, node, mtype)`` call
+with no event object — so fleet-wide event counting stays a few integer
+ops per event.
 
 Mirroring ``telemetry.instruments``, the module ships null twins
 (:class:`NullMonitor`, :class:`NullMonitorHub`, :data:`NULL_HUB`) so
@@ -37,10 +43,15 @@ def render_context(trace, node, seq, window=CONTEXT_WINDOW):
     if trace is None:
         return ()
     events = trace.events
-    if seq < 0 or seq >= len(events):
-        seq = len(events) - 1
+    if not events:
+        return ()
+    # Translate the global seq into a window index: a ring-buffered
+    # trace may have evicted its prefix, so events[0].seq can be > 0.
+    base = events[0].seq
+    index = seq - base
+    if index < 0 or index >= len(events):
+        index = len(events) - 1
     picked = []
-    index = seq
     while index >= 0 and len(picked) < window:
         event = events[index]
         if not node or event.node == node or event.peer == node:
@@ -71,10 +82,15 @@ class Monitor:
     name = "monitor"
     category = SAFETY
     kinds = ()
+    #: True for monitors that only count events (liveness watchdogs);
+    #: the hub routes them through the tracer's cheap counter channel
+    #: (:meth:`tick`) instead of the event-object dispatch path.
+    counts_events = False
 
     def __init__(self):
         self.hub = None
         self.anomalies = []
+        self._finish_done = False
         #: Optional group label (shard/group id) stamped on anomalies.
         self.group = None
         #: Optional frozenset of node names this monitor observes; the
@@ -87,13 +103,41 @@ class Monitor:
     def scope_to(self, group, nodes=None):
         """Restrict this monitor to one group: anomalies are labeled
         ``group`` and (when ``nodes`` is given) only events observed on
-        those nodes are dispatched to it.  Returns ``self``."""
+        those nodes are dispatched to it.  Returns ``self``.  Call
+        *before* registering with a hub — the hub binds the scope into
+        its dispatch closure at :meth:`MonitorHub.add` time."""
         self.group = group
         self.scope = frozenset(nodes) if nodes is not None else None
         return self
 
+    def interests(self):
+        """The (kind -> mtypes) subscription map this monitor wants.
+
+        ``mtypes=None`` means every mtype of that kind; returning
+        ``None`` overall means every event of every kind.  The default
+        derives from ``kinds``; monitors that also know their mtypes
+        (decide labels, ack message types) override this so the tracer
+        never even materializes unrelated events for them.
+        """
+        if not self.kinds:
+            return None
+        return {kind: None for kind in self.kinds}
+
+    def raw_interests(self):
+        """The (kind -> mtypes) map routed through the tracer's *raw*
+        channel to :meth:`observe_raw` — no TraceEvent materialization.
+        High-volume streams (per-message quorum acks, proposal scans)
+        belong here; anything returned must be excluded from
+        :meth:`interests`.  Empty by default.
+        """
+        return {}
+
     def observe(self, event):
         """Called for every matching trace event, in recording order."""
+
+    def observe_raw(self, kind, time, node, peer, mtype, msg_id, payload):
+        """Called for every :meth:`raw_interests` match with the raw
+        recorded fields (payload = message object for SEND/DELIVER)."""
 
     def finish(self):
         """Called once at run end, for whole-run verdicts."""
@@ -133,13 +177,29 @@ class Monitor:
             return hub.tracer.sim.now
         return 0.0
 
+    def _last_event(self):
+        """The event being recorded right now (for raw/counter-channel
+        handlers that need a full event only when they trip)."""
+        hub = self.hub
+        if hub is not None and hub.tracer is not None:
+            return hub.tracer.last_event()
+        return None
+
     def __repr__(self):
         flag = "TRIPPED(%d)" % len(self.anomalies) if self.anomalies else "ok"
         return "%s(%s, %s)" % (type(self).__name__, self.name, flag)
 
 
 class MonitorHub:
-    """Fans trace events out to registered monitors, online.
+    """Routes trace events to registered monitors, online.
+
+    Each monitor's declared interest set (:meth:`Monitor.interests`) is
+    registered with the tracer's typed subscription tables at
+    :meth:`add` time, so the tracer calls a monitor only for the kinds
+    and mtypes it evaluates; counting monitors (``counts_events``) ride
+    the tracer's per-event counter channel instead.  :meth:`observe`
+    remains as a direct full-dispatch path for synthetic events in
+    tests and replays.
 
     Parameters
     ----------
@@ -157,17 +217,19 @@ class MonitorHub:
         self.monitors = []
         self._dispatch = {}
         self._catchall = ()
-        self._finished = False
-        tracer.subscribe(self.observe)
+        self._watchdogs = ()
+        self._wd_routes = {}
+        self._counter_live = False
 
     @property
     def trace(self):
-        return self.tracer.trace
+        return self.tracer.trace if self.tracer is not None else None
 
     def add(self, monitor):
-        """Register ``monitor`` and index it by observed event kind."""
+        """Register ``monitor``'s interest set with the tracer."""
         monitor.attach(self)
         self.monitors.append(monitor)
+        # Kind-bucket index for the direct observe() path.
         if monitor.kinds:
             for kind in monitor.kinds:
                 bucket = self._dispatch.get(kind, self._catchall)
@@ -176,7 +238,71 @@ class MonitorHub:
             self._catchall = self._catchall + (monitor,)
             for kind, bucket in self._dispatch.items():
                 self._dispatch[kind] = bucket + (monitor,)
+        tracer = self.tracer
+        if monitor.counts_events:
+            if tracer is None:
+                pass
+            elif monitor.scope is None:
+                # Unscoped: its tick IS the sink — no routing layer.
+                tracer.subscribe_counters(monitor.tick)
+            else:
+                # Scoped watchdogs share one routed sink with a
+                # per-node route cache.
+                self._watchdogs = self._watchdogs + (monitor,)
+                self._wd_routes.clear()
+                if not self._counter_live:
+                    self._counter_live = True
+                    tracer.subscribe_counters(self._tick)
+        elif tracer is not None:
+            raw = monitor.raw_interests()
+            if raw:
+                raw_sink = self._scoped_raw_sink(monitor)
+                for kind, mtypes in raw.items():
+                    tracer.subscribe_raw(raw_sink, kinds=(kind,),
+                                         mtypes=mtypes)
+            sink = self._scoped_sink(monitor)
+            interests = monitor.interests()
+            if interests is None:
+                tracer.subscribe(sink)
+            else:
+                for kind, mtypes in interests.items():
+                    tracer.subscribe(sink, kinds=(kind,), mtypes=mtypes)
         return monitor
+
+    @staticmethod
+    def _scoped_sink(monitor):
+        observe = monitor.observe
+        scope = monitor.scope
+        if scope is None:
+            return observe
+
+        def sink(event):
+            if event.node in scope:
+                observe(event)
+        return sink
+
+    @staticmethod
+    def _scoped_raw_sink(monitor):
+        handler = monitor.observe_raw
+        scope = monitor.scope
+        if scope is None:
+            return handler
+
+        def sink(kind, time, node, peer, mtype, msg_id, payload):
+            if node in scope:
+                handler(kind, time, node, peer, mtype, msg_id, payload)
+        return sink
+
+    def _tick(self, kind, node, mtype):
+        """Counter-channel fan-out to counting monitors, with a per-node
+        route cache so scope checks cost one dict hit per event."""
+        route = self._wd_routes.get(node)
+        if route is None:
+            route = self._wd_routes[node] = tuple(
+                wd for wd in self._watchdogs
+                if wd.scope is None or node in wd.scope)
+        for wd in route:
+            wd.tick(kind, node, mtype)
 
     def extend(self, monitors):
         for monitor in monitors:
@@ -184,6 +310,12 @@ class MonitorHub:
         return self
 
     def observe(self, event):
+        """Dispatch one event to every matching monitor directly.
+
+        The live path goes through the tracer's subscription tables;
+        this entry point serves tests and offline replays that push
+        synthetic events through the battery by hand.
+        """
         node = event.node
         for monitor in self._dispatch.get(event.kind, self._catchall):
             scope = monitor.scope
@@ -191,10 +323,17 @@ class MonitorHub:
                 monitor.observe(event)
 
     def finish(self):
-        """Run end-of-run verdicts once; returns all anomalies."""
-        if not self._finished:
-            self._finished = True
-            for monitor in self.monitors:
+        """Run end-of-run verdicts; returns all anomalies.
+
+        Idempotent *per monitor*: each monitor's ``finish`` runs exactly
+        once no matter how many times the hub is finished, and monitors
+        added after an earlier ``finish`` still get their verdict on the
+        next call — so a second ``finish`` can never double-record, and
+        a run that ends mid-view still surfaces its watchdog verdict.
+        """
+        for monitor in self.monitors:
+            if not getattr(monitor, "_finish_done", False):
+                monitor._finish_done = True
                 monitor.finish()
         return self.anomalies
 
@@ -222,9 +361,14 @@ class NullMonitor:
     name = "null"
     category = SAFETY
     kinds = ()
+    counts_events = False
     anomalies = ()
     group = None
     scope = None
+
+    def interests(self):
+        # Interested in nothing: the hub registers no tracer sink at all.
+        return {}
 
     def attach(self, hub):
         pass

@@ -40,6 +40,15 @@ def check_protocols():
             if claim.protocol in _DRIVERS]
 
 
+#: Fleet-level checks: drivers that monitor a *composition* (a sharded
+#: fleet of consensus groups) rather than one paper-table protocol.
+#: They have no paper property box; their claims are synthesized from
+#: the composition's construction (see ``_FLEET_CLAIMS``).
+def fleet_checks():
+    """Fleet compositions ``run_check`` can drive, sorted."""
+    return sorted(name for name in _DRIVERS if name in _FLEET_CLAIMS)
+
+
 def supported_faults(protocol):
     return _FAULTS.get(protocol, ())
 
@@ -256,6 +265,26 @@ def _check_tendermint(cluster, faults):
         result.chains_consistent()
 
 
+@_driver("shards", faults=("crash",))
+def _check_shards(cluster, faults):
+    from ..shard import ShardedCluster
+    sharded = ShardedCluster(n_shards=2, replicas=3, partitioning="range",
+                             key_space=16, cluster=cluster)
+    first = sharded.run_workload(txns=6, cross_ratio=0.5)
+    if faults == "crash":
+        sharded.crash_follower("s1")
+    second = sharded.run_workload(txns=6, cross_ratio=0.5)
+    sharded.settle()
+    committed = first["committed"] + second["committed"]
+    total = first["txns"] + second["txns"]
+    cross = first["cross_shard"] + second["cross_shard"]
+    n = 2 * 3  # two groups of three replicas
+    f = 1      # per group: (replicas - 1) // 2
+    return n, f, ("%d/%d committed (%d cross-shard); per-shard "
+                  "consistent=%s" % (committed, total, cross,
+                                     sharded.check_consistency()))
+
+
 @_driver("chandra-toueg", faults=("crash",))
 def _check_ct(cluster, faults):
     from ..protocols.chandra_toueg import run_chandra_toueg
@@ -295,9 +324,76 @@ def _monitor_named(hub, name):
     return None
 
 
+#: Synthesized property boxes for fleet compositions: no paper table row
+#: exists, so the claim records what the composition is built from.
+_FLEET_CLAIMS = {
+    "shards": {
+        "failure_model": "crash (per group)",
+        "nodes": "G x (2f+1)",
+        "phases": "2PC over per-group consensus",
+        "complexity": "O(G*n) per cross-shard txn",
+    },
+}
+
+
+def _monitor_entry(monitor):
+    entry = {
+        "monitor": monitor.name,
+        "category": monitor.category,
+        "status": "tripped" if monitor.anomalies else "ok",
+        "anomalies": len(monitor.anomalies),
+    }
+    if monitor.group is not None:
+        # Only scoped (fleet) monitors grow the key — single-protocol
+        # reports stay byte-identical to their goldens.
+        entry["group"] = monitor.group
+    return entry
+
+
+def _group_sections(hub):
+    """Per-group report sections for a fleet check: each scoped group's
+    monitor battery, decision count and anomaly tally, sorted by group
+    id.  Empty for single-protocol checks (no scoped monitors)."""
+    by_group = {}
+    for monitor in hub.monitors:
+        if monitor.group is not None:
+            by_group.setdefault(monitor.group, []).append(monitor)
+    sections = []
+    for gid in sorted(by_group):
+        monitors = by_group[gid]
+        section = {
+            "group": gid,
+            "monitors": [
+                {
+                    "monitor": monitor.name,
+                    "category": monitor.category,
+                    "status": "tripped" if monitor.anomalies else "ok",
+                    "anomalies": len(monitor.anomalies),
+                }
+                for monitor in sorted(monitors, key=lambda m: m.name)
+            ],
+            "anomalies": sum(len(m.anomalies) for m in monitors),
+            "ok": not any(m.anomalies for m in monitors),
+        }
+        for monitor in monitors:
+            if monitor.name == "agreement":
+                section["decisions"] = monitor.decisions
+        sections.append(section)
+    return sections
+
+
 def _build_report(protocol, seed, faults, cluster, n, f, summary,
                   anomalies):
-    claim = claim_for(protocol)
+    try:
+        claim = claim_for(protocol)
+        claim_box = {
+            "failure_model": claim.failure_model,
+            "nodes": claim.nodes,
+            "phases": claim.phases,
+            "complexity": claim.complexity,
+        }
+    except KeyError:
+        claim_box = dict(_FLEET_CLAIMS[protocol])
     hub = cluster.monitors
     measured = {
         "nodes": n,
@@ -308,7 +404,10 @@ def _build_report(protocol, seed, faults, cluster, n, f, summary,
     }
     agreement = _monitor_named(hub, "agreement")
     if agreement is not None:
-        measured["decisions"] = agreement.decisions
+        # Fleet checks carry one scoped agreement monitor per group;
+        # the headline count is the fleet-wide total.
+        measured["decisions"] = sum(m.decisions for m in hub.monitors
+                                    if m.name == "agreement")
     phase = _monitor_named(hub, "phase-conformance")
     if phase is not None:
         measured["phases"] = phase.observed_phases()
@@ -318,31 +417,28 @@ def _build_report(protocol, seed, faults, cluster, n, f, summary,
         measured["messages_per_decision"] = \
             None if mean is None else round(mean, 3)
         measured["complexity_bound"] = round(envelope.bound, 3)
-    return {
+    report = {
         "schema": SCHEMA,
         "protocol": protocol,
         "seed": seed,
         "faults": faults or "none",
         "summary": summary,
-        "claim": {
-            "failure_model": claim.failure_model,
-            "nodes": claim.nodes,
-            "phases": claim.phases,
-            "complexity": claim.complexity,
-        },
+        "claim": claim_box,
         "measured": measured,
         "monitors": [
-            {
-                "monitor": monitor.name,
-                "category": monitor.category,
-                "status": "tripped" if monitor.anomalies else "ok",
-                "anomalies": len(monitor.anomalies),
-            }
-            for monitor in sorted(hub.monitors, key=lambda m: m.name)
+            _monitor_entry(monitor)
+            for monitor in sorted(hub.monitors,
+                                  key=lambda m: (m.name, m.group or ""))
         ],
         "anomalies": [anomaly.to_dict() for anomaly in anomalies],
         "ok": not anomalies,
     }
+    groups = _group_sections(hub)
+    if groups:
+        # Only fleet checks grow the key, so single-protocol reports
+        # (and their goldens) stay byte-identical.
+        report["groups"] = groups
+    return report
 
 
 def report_to_json(report):
@@ -381,7 +477,21 @@ def render_report(report):
                      % (measured["messages_per_decision"],
                         measured["complexity_bound"]))
     lines.append("  summary:    %s" % report["summary"])
-    if report["monitors"]:
+    if report.get("groups"):
+        # Fleet check: one section per consensus group, so a tripped
+        # monitor is attributed to its shard at a glance.
+        for section in report["groups"]:
+            verdict = "ok" if section["ok"] else \
+                "%d anomaly(ies)" % section["anomalies"]
+            head = "  group %-5s %s" % (section["group"], verdict)
+            if "decisions" in section:
+                head += ", %d decision(s)" % section["decisions"]
+            lines.append(head)
+            for entry in section["monitors"]:
+                lines.append("    %-8s %s (%s)" % (entry["status"],
+                                                   entry["monitor"],
+                                                   entry["category"]))
+    elif report["monitors"]:
         lines.append("  monitors:")
         for entry in report["monitors"]:
             lines.append("    %-8s %s (%s)" % (entry["status"],

@@ -41,12 +41,16 @@ class AgreementMonitor(Monitor):
     def __init__(self, decide_labels, slot_key=None, value_key="value"):
         super().__init__()
         self.decide_labels = tuple(decide_labels)
+        self._decide_set = frozenset(decide_labels)
         self.slot_key = slot_key
         self.value_key = value_key
         self._chosen = {}
 
+    def interests(self):
+        return {LOCAL: self.decide_labels}
+
     def observe(self, event):
-        if event.mtype not in self.decide_labels:
+        if event.mtype not in self._decide_set:
             return
         value = event.get(self.value_key)
         if value is None:
@@ -91,6 +95,9 @@ class LeaderUniquenessMonitor(Monitor):
         self.lead_label = lead_label
         self._leaders = {}
 
+    def interests(self):
+        return {LOCAL: (self.lead_label,)}
+
     def observe(self, event):
         if event.mtype != self.lead_label:
             return
@@ -130,6 +137,37 @@ class QuorumCertificateMonitor(Monitor):
         self.need = need
         self.link_keys = tuple(link_keys)
         self._acks = {}
+        # Prebound extractor: link values straight off the message
+        # object, stringified exactly like trace detail so the ack side
+        # (raw channel) and the decide side (event detail) share keys.
+        if len(self.link_keys) == 1:
+            key = self.link_keys[0]
+
+            def extract(message):
+                value = getattr(message, key, None)
+                return None if value is None else (str(value),)
+        else:
+            keys = self.link_keys
+
+            def extract(message):
+                values = tuple(getattr(message, k, None) for k in keys)
+                if None in values:
+                    return None
+                return tuple(str(v) for v in values)
+        self._extract = extract
+
+    def interests(self):
+        # Decides are rare: take them as full events.  The ack stream
+        # (one per matching delivery) rides the raw channel instead.
+        return {LOCAL: (self.decide_label,)}
+
+    def raw_interests(self):
+        return {DELIVER: (self.ack_mtype,)}
+
+    def observe_raw(self, kind, time, node, peer, mtype, msg_id, payload):
+        links = self._extract(payload)
+        if links is not None:
+            self._acks.setdefault((node, links), set()).add(peer)
 
     def _links(self, event):
         values = tuple(event.get(key) for key in self.link_keys)
@@ -177,6 +215,7 @@ class EquivocationMonitor(Monitor):
                  value_key="digest", ignore_values=("null",)):
         super().__init__()
         self.proposal_mtypes = tuple(proposal_mtypes)
+        self._proposal_set = frozenset(proposal_mtypes)
         self.epoch_keys = tuple(epoch_keys)
         self.slot_key = slot_key
         self.value_key = value_key
@@ -184,8 +223,38 @@ class EquivocationMonitor(Monitor):
         self._value_at_slot = {}
         self._slot_of_value = {}
 
+    def interests(self):
+        # Everything rides the raw channel (below): no event-object subs.
+        return {}
+
+    def raw_interests(self):
+        # Proposals arrive per delivery — high volume, so they ride the
+        # raw channel; the full event is recovered only on a violation.
+        return {DELIVER: self.proposal_mtypes}
+
+    def observe_raw(self, kind, time, node, peer, mtype, msg_id, payload):
+        value = getattr(payload, self.value_key, None)
+        if value is None:
+            return
+        value = str(value)
+        if value in self.ignore_values:
+            return
+        epoch = []
+        for key in self.epoch_keys:
+            held = getattr(payload, key, None)
+            if held is None:
+                return
+            epoch.append(str(held))
+        slot = None
+        if self.slot_key is not None:
+            slot = getattr(payload, self.slot_key, None)
+            if slot is None:
+                return
+            slot = str(slot)
+        self._check(peer, tuple(epoch), value, slot, None)
+
     def observe(self, event):
-        if event.mtype not in self.proposal_mtypes:
+        if event.mtype not in self._proposal_set:
             return
         value = event.get(self.value_key)
         if value is None or value in self.ignore_values:
@@ -193,7 +262,16 @@ class EquivocationMonitor(Monitor):
         epoch = tuple(event.get(key) for key in self.epoch_keys)
         if None in epoch:
             return
-        src = event.peer
+        slot = None
+        if self.slot_key is not None:
+            slot = event.get(self.slot_key)
+            if slot is None:
+                return
+        self._check(event.peer, epoch, value, slot, event)
+
+    def _check(self, src, epoch, value, slot, event):
+        """One step of the equivocation automaton; ``event`` is ``None``
+        on the raw path and recovered lazily if a violation fires."""
         epoch_str = ", ".join("%s=%s" % (key, val) for key, val
                               in zip(self.epoch_keys, epoch))
         if self.slot_key is None:
@@ -204,11 +282,9 @@ class EquivocationMonitor(Monitor):
                 self.record(
                     "%s equivocated in epoch (%s): proposed %r and %r" % (
                         src, epoch_str, known, value),
-                    event=event, node=src, epoch=epoch_str,
+                    event=event if event is not None else self._last_event(),
+                    node=src, epoch=epoch_str,
                     value=value, conflicting_value=known)
-            return
-        slot = event.get(self.slot_key)
-        if slot is None:
             return
         known = self._value_at_slot.get((src, epoch, slot))
         if known is None:
@@ -217,7 +293,8 @@ class EquivocationMonitor(Monitor):
             self.record(
                 "%s equivocated at %s=%s (%s): proposed %r and %r" % (
                     src, self.slot_key, slot, epoch_str, known, value),
-                event=event, node=src, epoch=epoch_str, slot=slot,
+                event=event if event is not None else self._last_event(),
+                node=src, epoch=epoch_str, slot=slot,
                 value=value, conflicting_value=known)
             return
         held = self._slot_of_value.get((src, epoch, value))
@@ -228,7 +305,8 @@ class EquivocationMonitor(Monitor):
                 "%s equivocated on %r (%s): proposed at %s=%s and %s=%s" % (
                     src, value, epoch_str, self.slot_key, held,
                     self.slot_key, slot),
-                event=event, node=src, epoch=epoch_str, value=value,
+                event=event if event is not None else self._last_event(),
+                node=src, epoch=epoch_str, value=value,
                 slot=slot, conflicting_slot=held)
 
 
@@ -307,11 +385,13 @@ class ComplexityEnvelopeMonitor(Monitor):
                  slot_key=None, exceptional_phases=(), phase_protocols=()):
         super().__init__()
         self.decide_labels = tuple(decide_labels)
+        self._decide_set = frozenset(decide_labels)
         self.n = n
         self.exponent = exponent
         self.factor = factor
         self.slot_key = slot_key
         self.exceptional_phases = tuple(exceptional_phases)
+        self._exceptional_set = frozenset(exceptional_phases)
         self.phase_protocols = tuple(phase_protocols)
         self.samples = []
         self._seen_slots = set()
@@ -319,16 +399,24 @@ class ComplexityEnvelopeMonitor(Monitor):
         self._window_tainted = False
         self._skipped_windows = 0
 
+    def interests(self):
+        wants = {LOCAL: self.decide_labels}
+        if self.exceptional_phases:
+            # Only tainting phases matter; a spec with no exceptional
+            # phases never subscribes to the PHASE stream at all.
+            wants[PHASE] = self.exceptional_phases
+        return wants
+
     def _collector(self):
         return self.hub.collector if self.hub is not None else None
 
     def observe(self, event):
         if event.kind == PHASE:
-            if (event.mtype in self.exceptional_phases
+            if (event.mtype in self._exceptional_set
                     and event.get("protocol") in self.phase_protocols):
                 self._window_tainted = True
             return
-        if event.mtype not in self.decide_labels:
+        if event.mtype not in self._decide_set:
             return
         slot = event.get(self.slot_key, None) if self.slot_key else ""
         if slot is None or slot in self._seen_slots:
@@ -371,33 +459,59 @@ class LivenessWatchdog(Monitor):
     Counts trace events since the last decision milestone; crossing
     ``horizon_events`` trips a liveness anomaly (then re-arms, so a
     permanent stall trips once per horizon, not per event).  A run that
-    ends with no decision at all is reported at :meth:`finish`.
+    ends with no decision at all is reported at :meth:`finish` — the
+    hub's per-monitor finish guard ensures this verdict is delivered
+    even for watchdogs registered after an earlier ``finish`` (a run
+    that was cut short mid-view).
+
+    On a live hub the watchdog rides the tracer's counter channel
+    (:meth:`tick`): per event it pays a few integer ops and only
+    materializes the offending trace event when it actually trips.
+    :meth:`observe` implements the same automaton for the direct
+    event-object path.
     """
 
     name = "liveness-watchdog"
     category = LIVENESS
     kinds = ()
+    counts_events = True
 
     def __init__(self, decide_labels, horizon_events=4000):
         super().__init__()
         self.decide_labels = tuple(decide_labels)
+        self._decide_set = frozenset(decide_labels)
         self.horizon_events = horizon_events
         self.decisions = 0
         self._since_decide = 0
 
-    def observe(self, event):
-        if event.kind == LOCAL and event.mtype in self.decide_labels:
+    def tick(self, kind, node, mtype):
+        """Counter-channel step: same automaton as :meth:`observe`,
+        without an event object (the tripping event is recovered from
+        the tracer only when a trip actually happens)."""
+        if kind == LOCAL and mtype in self._decide_set:
             self.decisions += 1
             self._since_decide = 0
             return
         self._since_decide += 1
         if self._since_decide >= self.horizon_events:
-            self.record(
-                "no decision within the last %d events (%d decisions so "
-                "far) — stalled" % (self.horizon_events, self.decisions),
-                event=event, decisions=self.decisions,
-                horizon=self.horizon_events)
+            self._trip(self._last_event())
+
+    def observe(self, event):
+        if event.kind == LOCAL and event.mtype in self._decide_set:
+            self.decisions += 1
             self._since_decide = 0
+            return
+        self._since_decide += 1
+        if self._since_decide >= self.horizon_events:
+            self._trip(event)
+
+    def _trip(self, event):
+        self.record(
+            "no decision within the last %d events (%d decisions so "
+            "far) — stalled" % (self.horizon_events, self.decisions),
+            event=event, decisions=self.decisions,
+            horizon=self.horizon_events)
+        self._since_decide = 0
 
     def finish(self):
         if self.decisions == 0:

@@ -78,52 +78,89 @@ class MonitorSpec:
         return claim_for(self.protocol)
 
 
+#: True on battery-plan rows built only for fleet-wide (unscoped)
+#: batteries: phase marks and the transport message total are global
+#: streams that cannot be attributed to one group.
+_FLEET_ONLY = True
+
+
+def _compile_battery(spec):
+    """Compile one spec row into a tuple of prebound monitor factories.
+
+    Each entry is ``(fleet_only, factory)`` where ``factory(n, f)``
+    instantiates a monitor with every spec-derived argument already
+    bound (tuples made, defaults resolved), so :func:`build_monitors` at
+    run time is a handful of calls with no per-field decisions left.
+    Compiled once per spec at import for every ``MONITOR_SPECS`` row —
+    the class-level dispatch plan the monitors' own ``interests()`` maps
+    then hand to the tracer's subscription tables.
+    """
+    plan = []
+    if spec.decide_labels:
+        decide = tuple(spec.decide_labels)
+        slot_key, value_key = spec.slot_key, spec.value_key
+        plan.append((not _FLEET_ONLY, lambda n, f: AgreementMonitor(
+            decide, slot_key=slot_key, value_key=value_key)))
+        horizon = spec.stall_horizon_events
+        plan.append((not _FLEET_ONLY, lambda n, f: LivenessWatchdog(
+            decide, horizon_events=horizon)))
+    if spec.lead_epoch_key:
+        epoch_key = spec.lead_epoch_key
+        plan.append((not _FLEET_ONLY,
+                     lambda n, f: LeaderUniquenessMonitor(epoch_key)))
+    if spec.cert is not None:
+        cert = spec.cert
+        link_keys = tuple(cert.link_keys)
+        plan.append((not _FLEET_ONLY, lambda n, f: QuorumCertificateMonitor(
+            cert.decide_label, cert.ack_mtype, cert.need(n, f), link_keys)))
+    if spec.proposal_mtypes:
+        proposals = tuple(spec.proposal_mtypes)
+        epoch_keys = tuple(spec.proposal_epoch_keys)
+        proposal_slot = spec.proposal_slot_key
+        plan.append((not _FLEET_ONLY, lambda n, f: EquivocationMonitor(
+            proposals, epoch_keys, slot_key=proposal_slot)))
+    if spec.phase_protocols:
+        protocols = tuple(spec.phase_protocols)
+        expected = tuple(spec.expected_phases)
+        exceptional = tuple(spec.exceptional_phases)
+        require_all = spec.require_all_phases
+        plan.append((_FLEET_ONLY, lambda n, f: PhaseConformanceMonitor(
+            protocols, expected, exceptional=exceptional,
+            require_all=require_all)))
+    if spec.complexity_exponent is not None and spec.decide_labels:
+        decide = tuple(spec.decide_labels)
+        exponent, factor = spec.complexity_exponent, spec.complexity_factor
+        slot_key = spec.slot_key
+        tainting = spec.window_tainting_phases
+        if tainting is None:
+            tainting = spec.exceptional_phases
+        tainting = tuple(tainting)
+        protocols = tuple(spec.phase_protocols)
+        plan.append((_FLEET_ONLY, lambda n, f: ComplexityEnvelopeMonitor(
+            decide, n, exponent, factor=factor, slot_key=slot_key,
+            exceptional_phases=tainting, phase_protocols=protocols)))
+    return tuple(plan)
+
+
 def build_monitors(spec, n, f=0, group=None, nodes=None):
     """Instantiate the monitor battery for ``spec`` on an ``n``-node,
-    ``f``-fault cluster.
+    ``f``-fault cluster, from the spec's import-time compiled plan.
 
     ``group``/``nodes`` scope the battery to one consensus group inside
     a fleet: anomalies carry the group label and (with ``nodes``) only
     events observed on member nodes are dispatched, so several groups
     running the *same* protocol can be watched on one shared trace
     without their slots and epochs colliding.  Scoped batteries omit the
-    phase-conformance and complexity-envelope monitors — phase marks and
-    the transport message total are fleet-global streams that cannot be
-    attributed to a single group.
+    fleet-only monitors (phase-conformance, complexity-envelope) — phase
+    marks and the transport message total are fleet-global streams that
+    cannot be attributed to a single group.
     """
     scoped = nodes is not None
-    monitors = []
-    if spec.decide_labels:
-        monitors.append(AgreementMonitor(spec.decide_labels,
-                                         slot_key=spec.slot_key,
-                                         value_key=spec.value_key))
-        monitors.append(LivenessWatchdog(
-            spec.decide_labels, horizon_events=spec.stall_horizon_events))
-    if spec.lead_epoch_key:
-        monitors.append(LeaderUniquenessMonitor(spec.lead_epoch_key))
-    if spec.cert is not None:
-        monitors.append(QuorumCertificateMonitor(
-            spec.cert.decide_label, spec.cert.ack_mtype,
-            spec.cert.need(n, f), spec.cert.link_keys))
-    if spec.proposal_mtypes:
-        monitors.append(EquivocationMonitor(
-            spec.proposal_mtypes, spec.proposal_epoch_keys,
-            slot_key=spec.proposal_slot_key))
-    if spec.phase_protocols and not scoped:
-        monitors.append(PhaseConformanceMonitor(
-            spec.phase_protocols, spec.expected_phases,
-            exceptional=spec.exceptional_phases,
-            require_all=spec.require_all_phases))
-    if spec.complexity_exponent is not None and spec.decide_labels \
-            and not scoped:
-        tainting = spec.window_tainting_phases
-        if tainting is None:
-            tainting = spec.exceptional_phases
-        monitors.append(ComplexityEnvelopeMonitor(
-            spec.decide_labels, n, spec.complexity_exponent,
-            factor=spec.complexity_factor, slot_key=spec.slot_key,
-            exceptional_phases=tainting,
-            phase_protocols=spec.phase_protocols))
+    plan = _BATTERY_PLANS.get(spec.protocol)
+    if plan is None or MONITOR_SPECS.get(spec.protocol) is not spec:
+        plan = _compile_battery(spec)  # ad-hoc spec (tests, forks)
+    monitors = [factory(n, f) for fleet_only, factory in plan
+                if not (scoped and fleet_only)]
     if group is not None or scoped:
         for monitor in monitors:
             monitor.scope_to(group, nodes)
@@ -282,6 +319,11 @@ MONITOR_SPECS = _specs(
         complexity_factor=64.0,  # failure-detector heartbeats run freely
     ),
 )
+
+
+#: protocol -> compiled battery plan, built once at import.
+_BATTERY_PLANS = {name: _compile_battery(spec)
+                  for name, spec in MONITOR_SPECS.items()}
 
 
 def spec_for(protocol):

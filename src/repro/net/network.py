@@ -60,10 +60,12 @@ class Network:
         # broadcast, so they must not allocate per access.
         self._names_cache = None
         self._nodes_cache = None
-        # Pre-resolved telemetry counter handles, keyed per (message
-        # class, src, dst) link and per drop/receive label set.  Resolving
-        # a handle sorts and hashes the label dict; these memos make every
-        # later send on the same link three plain ``inc`` calls.
+        # Unified per-link fast-path cache, keyed (message class, src,
+        # dst): each entry is ``(slot, handles)`` — the collector's
+        # [count, bytes] accumulation slot and the pre-resolved telemetry
+        # counter handles (either may be None).  Resolving a telemetry
+        # handle sorts and hashes the label dict; these memos make every
+        # later send on the same link a handful of inline increments.
         self._link_handles = {}
         self._drop_handles = {}
         self._recv_handles = {}
@@ -127,30 +129,18 @@ class Network:
         if dst not in self._nodes:
             raise KeyError("unknown destination %r" % (dst,))
         size = _size
-        metrics = self.metrics
-        if metrics is not None:
+        cached = self._link_handles.get((message.__class__, src, dst))
+        if cached is None:
+            cached = self._resolve_link(src, dst, message)
+        slot, handles = cached
+        if slot is not None:
             if size is None:
                 size = message.size_estimate()
-            metrics.record_message(src, dst, message, size=size)
-        telemetry = self.telemetry
-        if telemetry is not None:
-            key = (message.__class__, src, dst)
-            handles = self._link_handles.get(key)
-            if handles is None:
-                link = "%s->%s" % (src, dst)
-                proto = protocol_of(message)
-                mtype = message.mtype
-                handles = (
-                    telemetry.handle("counter", "net_messages_total",
-                                     protocol=proto, mtype=mtype,
-                                     link=link),
-                    telemetry.handle("counter", "net_bytes_total",
-                                     protocol=proto, mtype=mtype,
-                                     link=link),
-                    telemetry.handle("counter", "node_sent_total",
-                                     node=src),
-                )
-                self._link_handles[key] = handles
+            # Batched collector lane: two list-cell bumps; the collector
+            # folds slots into its aggregates on read.
+            slot[0] += 1
+            slot[1] += size
+        if handles is not None:
             if size is None:
                 size = message.size_estimate()
             # Direct slot stores, not ``inc()`` calls: the amounts are
@@ -178,8 +168,8 @@ class Network:
             if delay < 0:
                 raise ClockError(
                     "cannot schedule in the past (delay=%r)" % (delay,))
-            sim._queue.push(sim._now + delay, self._deliver,
-                            (src, dst, message))
+            sim._queue.push_transient(sim._now + delay, self._deliver,
+                                      (src, dst, message))
             return True
         token = tracer.on_send(src, dst, message) if tracer is not None else None
         for interceptor in self._interceptors:
@@ -193,18 +183,47 @@ class Network:
                 tracer.on_drop(src, dst, message, "partitioned", token)
             self._count_drop(message, "partitioned")
             return False
-        delay = self.delivery.delay(self.sim.rng, src, dst, self.sim.now)
+        sim = self.sim
+        delay = self.delivery.delay(sim.rng, src, dst, sim.now)
         if delay is DeliveryModel.DROP:
             if tracer is not None:
                 tracer.on_drop(src, dst, message, "lost", token)
             self._count_drop(message, "lost")
             return False
+        if delay < 0:
+            raise ClockError(
+                "cannot schedule in the past (delay=%r)" % (delay,))
+        # Deliveries are never cancelled, so they ride the queue's
+        # transient lane: no Event object per message.
         if tracer is None:
-            self.sim.schedule(delay, self._deliver, src, dst, message)
+            sim._queue.push_transient(sim._now + delay, self._deliver,
+                                      (src, dst, message))
         else:
-            self.sim.schedule(delay, self._deliver_traced, src, dst, message,
-                              token)
+            sim._queue.push_transient(sim._now + delay, self._deliver_traced,
+                                      (src, dst, message, token))
         return True
+
+    def _resolve_link(self, src, dst, message):
+        """Build and memoize the ``(slot, handles)`` pair for one link."""
+        metrics = self.metrics
+        slot = None if metrics is None else \
+            metrics.slot_for(src, dst, message.mtype)
+        handles = None
+        telemetry = self.telemetry
+        if telemetry is not None:
+            link = "%s->%s" % (src, dst)
+            proto = protocol_of(message)
+            mtype = message.mtype
+            handles = (
+                telemetry.handle("counter", "net_messages_total",
+                                 protocol=proto, mtype=mtype, link=link),
+                telemetry.handle("counter", "net_bytes_total",
+                                 protocol=proto, mtype=mtype, link=link),
+                telemetry.handle("counter", "node_sent_total", node=src),
+            )
+        cached = (slot, handles)
+        self._link_handles[(message.__class__, src, dst)] = cached
+        return cached
 
     def broadcast(self, src, message, include_self=False):
         """Send ``message`` from ``src`` to every registered node.

@@ -95,18 +95,68 @@ class EventQueue:
         self._live += 1
         return event
 
-    def pop_next(self, horizon=None):
-        """Remove and return the earliest live event at or before ``horizon``.
+    def push_transient(self, time, callback, args=()):
+        """Enqueue a *non-cancellable* callback without an Event object.
 
-        The single hot-path scan: cancelled events are discarded as they
-        surface, and ``None`` is returned either when the queue holds no
-        live event or when the next live event lies beyond ``horizon``
-        (which then stays queued — check ``len(queue)`` to tell the two
-        apart).
+        The hot lane for message deliveries: the heap entry is a bare
+        ``(time, seq, callback, args)`` tuple — no per-message Event
+        allocation, nothing to cancel, nothing for compaction to
+        inspect.  Entries mix freely with :meth:`push` events (the
+        unique ``seq`` guarantees tuple comparison never reaches the
+        third element).  Returns nothing — callers that may need to
+        cancel must use :meth:`push`.
+        """
+        heapq.heappush(self._heap, (time, next(self._counter), callback,
+                                    args))
+        self._live += 1
+
+    def pop_entry(self, horizon=None):
+        """Remove and return ``(time, callback, args)`` of the earliest
+        live entry at or before ``horizon``, or ``None``.
+
+        The event loop's hot-path scan: cancelled events are discarded
+        as they surface, transient entries are returned without any
+        unwrap cost, and a live entry beyond ``horizon`` stays queued
+        (check ``len(queue)`` to distinguish empty from beyond-horizon).
         """
         heap = self._heap
         while heap:
             entry = heap[0]
+            if len(entry) == 4:
+                if horizon is not None and entry[0] > horizon:
+                    return None
+                heapq.heappop(heap)
+                self._live -= 1
+                return (entry[0], entry[2], entry[3])
+            event = entry[2]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if horizon is not None and entry[0] > horizon:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            event._queue = None
+            return (entry[0], event.callback, event.args)
+        return None
+
+    def pop_next(self, horizon=None):
+        """Remove and return the earliest live event at or before ``horizon``.
+
+        Like :meth:`pop_entry` but returns an :class:`Event` (transient
+        entries are wrapped in a fresh one), for callers that want the
+        object API.  ``None`` when the queue holds no live event or the
+        next live event lies beyond ``horizon``.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if len(entry) == 4:
+                if horizon is not None and entry[0] > horizon:
+                    return None
+                heapq.heappop(heap)
+                self._live -= 1
+                return Event(entry[0], entry[1], entry[2], entry[3])
             event = entry[2]
             if event.cancelled:
                 heapq.heappop(heap)
@@ -130,16 +180,18 @@ class EventQueue:
     def peek_time(self):
         """Return the timestamp of the next live event, or ``None``."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap:
+            entry = heap[0]
+            if len(entry) == 4 or not entry[2].cancelled:
+                return entry[0]
             heapq.heappop(heap)
-        if heap:
-            return heap[0][0]
         return None
 
     def clear(self):
         """Drop every pending event."""
-        for _time, _seq, event in self._heap:
-            event._queue = None
+        for entry in self._heap:
+            if len(entry) == 3:
+                entry[2]._queue = None
         self._heap.clear()
         self._live = 0
 
@@ -152,6 +204,7 @@ class EventQueue:
         self._live -= 1
         heap = self._heap
         if len(heap) >= self.COMPACT_MIN and 2 * self._live < len(heap):
-            live = [entry for entry in heap if not entry[2].cancelled]
+            live = [entry for entry in heap
+                    if len(entry) == 4 or not entry[2].cancelled]
             heapq.heapify(live)
             self._heap = live

@@ -130,8 +130,14 @@ class Simulator:
         # times per experiment, so every attribute chase it avoids is a
         # measurable slice of total runtime.
         queue = self._queue
-        pop_next = queue.pop_next
+        pop_entry = queue.pop_entry
         tm_events = self._tm_events if self.telemetry is not None else None
+        # The processed count and its telemetry mirror are batched in a
+        # local and flushed once on exit: they are only *read* after the
+        # loop returns (or from callbacks that see a stale-by-a-few value
+        # nobody depends on), so per-event bookkeeping buys nothing.
+        base = self._events_processed
+        processed = 0
         try:
             while True:
                 if self._stop_requested:
@@ -139,30 +145,29 @@ class Simulator:
                 # One scan instead of the old peek_time()/pop() pair:
                 # cancelled events are discarded once, and a live event
                 # beyond the horizon stays queued.
-                event = pop_next(until)
-                if event is None:
+                entry = pop_entry(until)
+                if entry is None:
                     if until is not None and len(queue):
                         self._now = until
                     break
-                self._now = event.time
-                self._events_processed += 1
-                if tm_events is not None:
-                    # Direct slot store — Counter.inc()'s negative-amount
-                    # guard is dead weight for a constant +1.
-                    tm_events.value += 1
-                if self._events_processed > max_events:
+                self._now = entry[0]
+                processed += 1
+                if base + processed > max_events:
                     raise EventLimitExceeded(max_events)
                 try:
-                    # Inlined event.fire(): pop_next never returns a
-                    # cancelled event, so the guard (and the call frame)
-                    # would be pure overhead here.
-                    event.callback(*event.args)
+                    # pop_entry never returns a cancelled event, so the
+                    # Event.fire() guard (and call frame) would be pure
+                    # overhead here.
+                    entry[1](*entry[2])
                 except SimulationFinished:
                     break
                 if stop_when is not None and stop_when():
                     break
         finally:
             self._running = False
+            self._events_processed = base + processed
+            if tm_events is not None:
+                tm_events.value += processed
         return self._now
 
     def run_for(self, duration, **kwargs):

@@ -13,17 +13,27 @@ from .events import DELIVER, LOCAL, REQUEST, SEND
 
 
 class Trace:
-    """An ordered collection of :class:`~repro.trace.events.TraceEvent`."""
+    """An ordered collection of :class:`~repro.trace.events.TraceEvent`.
+
+    Plain traces hold an eager event list; the tracer's live view
+    (:class:`~repro.trace.tracer._LiveTrace`) overrides :attr:`events`
+    to materialize lazily from the recording ring.  Everything here
+    works through that property, so both kinds answer the same queries.
+    """
 
     def __init__(self, events=None):
-        self.events = list(events) if events else []
+        self._events = list(events) if events else []
         self._vc = None
+        self._vc_len = -1
 
     # -- collection protocol ----------------------------------------------
 
+    @property
+    def events(self):
+        return self._events
+
     def append(self, event):
-        self.events.append(event)
-        self._vc = None
+        self._events.append(event)
 
     def __len__(self):
         return len(self.events)
@@ -114,13 +124,18 @@ class Trace:
     # -- causality ---------------------------------------------------------
 
     def _vector_clocks(self):
-        """seq -> :class:`VectorClock` (``None`` for node-less events)."""
-        if self._vc is not None:
+        """seq -> :class:`VectorClock` (``None`` for node-less events).
+
+        Computed lazily and cached against the trace length, so a live
+        trace that has grown since the last causal query recomputes.
+        """
+        events = self.events
+        if self._vc is not None and self._vc_len == len(events):
             return self._vc
         clocks = {}
         node_state = {}
         send_state = {}
-        for event in self.events:
+        for event in events:
             if not event.node:
                 clocks[event.seq] = None
                 continue
@@ -133,6 +148,7 @@ class Trace:
             if event.kind == SEND:
                 send_state[event.msg_id] = current
         self._vc = clocks
+        self._vc_len = len(events)
         return clocks
 
     def happens_before(self, a, b):

@@ -7,16 +7,35 @@ with ``if tracer is not None`` so a tracer-less run pays exactly one
 attribute load and comparison per site — the zero-overhead-when-disabled
 contract.
 
-The tracer maintains one Lamport clock per node (tick on send / timer /
-local event, receive-rule merge on deliver) and assigns each unicast a
-dense ``msg_id`` so the matching deliver (or drop) can be linked back to
-its send.  Nothing here touches the simulator's RNG or schedules events,
-so enabling tracing cannot perturb a run.
+The record path is deliberately skeletal — the near-free-when-enabled
+half of the contract.  Each hook appends one compact tuple to a ring
+buffer (a plain list by default, a bounded ``deque`` when ``capacity``
+is set) and returns; :class:`~repro.trace.events.TraceEvent` objects,
+``detail`` string pairs and Lamport clocks are *materialized lazily*,
+only when the trace is queried, exported or rendered into an anomaly's
+causal context.  Message events store the message object itself and
+extract its detail fields on materialization through a per-class plan
+compiled on first sight (mirroring ``Message._size_plan``), so the hot
+path never probes attributes.
+
+Streaming sinks (the monitor hub) register *typed* interest via
+:meth:`Tracer.subscribe`: a per-event-kind (and optionally per-mtype)
+subscription table means an event with no interested sink costs only
+the tuple append, and a TraceEvent is constructed at most once per
+event no matter how many sinks match.  Streamed events carry
+``lamport=0`` — clock materialization stays lazy even with sinks on
+(no streaming consumer in the library reads clocks online; causal
+context is rendered from the materialized trace).  Nothing here touches
+the simulator's RNG or schedules events, so enabling tracing cannot
+perturb a run.
 """
+
+from collections import deque
 
 from .events import (
     DELIVER,
     DROP,
+    KINDS,
     LOCAL,
     PHASE,
     REQUEST,
@@ -34,6 +53,46 @@ from .trace import Trace
 DETAIL_ATTRS = ("ballot", "view", "seq", "round", "height", "term", "index",
                 "digest")
 
+#: attrs-to-extract per message class, compiled on first instance seen.
+#: Message classes are dataclasses with a fixed field set, so one
+#: instance's attribute inventory speaks for the class.
+_DETAIL_PLANS = {}
+
+
+def _message_detail(message):
+    """``detail`` pairs for a message, via the class's compiled plan."""
+    plan = _DETAIL_PLANS.get(message.__class__)
+    if plan is None:
+        plan = _DETAIL_PLANS[message.__class__] = tuple(
+            attr for attr in DETAIL_ATTRS if hasattr(message, attr))
+    pairs = []
+    for attr in plan:
+        value = getattr(message, attr)
+        if value is not None:
+            pairs.append((attr, str(value)))
+    return tuple(pairs)
+
+
+class _LiveTrace(Trace):
+    """A :class:`Trace` view over a tracer's ring buffer.
+
+    ``events`` materializes lazily (and, for an unbounded tracer,
+    incrementally) from the recorded tuples; until then the trace holds
+    no TraceEvent objects at all.  ``len()`` and every query inherit
+    from :class:`Trace` and operate on the materialized window.
+    """
+
+    def __init__(self, tracer):
+        super().__init__()
+        self._tracer = tracer
+
+    @property
+    def events(self):
+        tracer = self._tracer
+        if tracer._mat_count != tracer._total:
+            tracer._materialize_into(self)
+        return self._events
+
 
 class Tracer:
     """Records a :class:`~repro.trace.Trace` from a live simulation.
@@ -42,110 +101,275 @@ class Tracer:
     ----------
     sim:
         The :class:`~repro.sim.Simulator` supplying virtual time.
+    capacity:
+        Ring-buffer size.  ``None`` (the default) keeps every event —
+        required for golden exports and whole-run causal queries.  A
+        bounded tracer keeps only the newest ``capacity`` events
+        (older ones are evicted; ``len(trace)`` reports the window) —
+        the flight-recorder mode for long runs where only recent
+        context matters.  Clocks of a bounded window are replayed from
+        the window start, so cross-window happens-before queries are
+        approximate.
     """
 
-    def __init__(self, sim):
+    def __init__(self, sim, capacity=None):
         self.sim = sim
-        self.trace = Trace()
-        self._clocks = {}
+        self.capacity = capacity
+        self._records = deque(maxlen=capacity) if capacity else []
+        self._append = self._records.append
+        self._total = 0
         self._next_msg_id = 0
-        self._sinks = []
+        self.trace = _LiveTrace(self)
+        # -- streaming state (only touched while sinks are registered) --
+        self._live = False
+        self._subs = {}
+        self._raw = {}
+        self._send_subs = None
+        self._deliver_subs = None
+        self._send_raw = None
+        self._deliver_raw = None
+        self._counters = ()
+        # -- lazy-materialization replay state --
+        self._mat_count = 0
+        self._mat_clocks = {}
+        self._mat_send = {}
 
-    def subscribe(self, sink):
-        """Register a streaming sink called with every recorded event.
+    # -- subscriptions -------------------------------------------------------
 
-        Sinks (e.g. the monitor hub) observe events online, in recording
-        order, the moment they happen — without waiting for run end.  A
-        sink must not schedule events or touch the RNG; like the tracer
-        itself it is a pure observer.
+    def subscribe(self, sink, kinds=None, mtypes=None):
+        """Register a streaming sink called with matching recorded events.
+
+        ``kinds`` limits the sink to those event kinds (default: all);
+        ``mtypes`` further limits it to those ``mtype`` values.  Sinks
+        observe events online, in recording order, the moment they
+        happen.  Streamed events carry ``lamport=0`` — Lamport clocks
+        are materialized only on query/export (ask ``tracer.trace`` for
+        clocked events).  A sink must not schedule events or touch the
+        RNG; like the tracer itself it is a pure observer.
         """
-        self._sinks.append(sink)
+        self._live = True
+        mfilter = frozenset(mtypes) if mtypes is not None else None
+        for kind in (KINDS if kinds is None else kinds):
+            self._subs[kind] = self._subs.get(kind, ()) + ((mfilter, sink),)
+        # The two hottest hooks read their row straight off the tracer.
+        self._send_subs = self._subs.get(SEND)
+        self._deliver_subs = self._subs.get(DELIVER)
         return sink
 
-    # -- internals ---------------------------------------------------------
+    def subscribe_raw(self, sink, kinds=None, mtypes=None):
+        """Register a raw streaming sink: no TraceEvent materialization.
 
-    def _tick(self, node):
-        value = self._clocks.get(node, 0) + 1
-        self._clocks[node] = value
-        return value
+        The sink is called as ``sink(kind, time, node, peer, mtype,
+        msg_id, payload)`` with the recorded fields themselves — for
+        SEND/DELIVER the payload is the live message object, for other
+        kinds the eager detail pairs.  This is the fastest observation
+        lane: a matching sink costs one call, no event object, no
+        detail stringification.  Raw sinks must treat the payload as
+        read-only and must not retain mutable references across events.
+        """
+        self._live = True
+        mfilter = frozenset(mtypes) if mtypes is not None else None
+        for kind in (KINDS if kinds is None else kinds):
+            self._raw[kind] = self._raw.get(kind, ()) + ((mfilter, sink),)
+        self._send_raw = self._raw.get(SEND)
+        self._deliver_raw = self._raw.get(DELIVER)
+        return sink
 
-    def _emit(self, kind, node, lamport, peer="", mtype="", msg_id=-1,
-              detail=()):
-        event = TraceEvent(
-            seq=len(self.trace.events),
-            time=self.sim.now,
-            kind=kind,
-            node=node,
-            lamport=lamport,
-            peer=peer,
-            mtype=mtype,
-            msg_id=msg_id,
-            detail=detail,
-        )
-        self.trace.append(event)
-        if self._sinks:
-            for sink in self._sinks:
-                sink(event)
-        return event
+    def subscribe_counters(self, fn):
+        """Register a per-event counting channel ``fn(kind, node, mtype)``.
 
-    @staticmethod
-    def _message_detail(message):
-        pairs = []
-        for attr in DETAIL_ATTRS:
-            value = getattr(message, attr, None)
-            if value is not None:
-                pairs.append((attr, str(value)))
-        return tuple(pairs)
+        The cheap lane for sinks that only *count* events (liveness
+        watchdogs): no TraceEvent is materialized.  Use
+        :meth:`last_event` inside ``fn`` to recover the full event when
+        one finally matters (a trip).
+        """
+        self._live = True
+        self._counters = self._counters + (fn,)
+        return fn
+
+    def last_event(self):
+        """The most recently recorded event, materialized (or ``None``)."""
+        events = self.trace.events
+        return events[-1] if events else None
+
+    # -- lazy materialization ------------------------------------------------
+
+    def _materialize_into(self, trace):
+        """Turn recorded tuples into TraceEvents on ``trace``.
+
+        Unbounded tracers materialize incrementally (already-built
+        events are reused); bounded ones rebuild the current window,
+        replaying clocks from the window start.  The Lamport rules here
+        are exactly the rules the old eager recorder applied per event
+        (send/timer/local/drop tick the acting node; deliver runs the
+        receive rule against the matching send), so a lazily
+        materialized trace is byte-identical to an eagerly recorded one.
+        """
+        records = self._records
+        events = trace._events
+        if self.capacity:
+            events.clear()
+            clocks, send_clock = {}, {}
+            seq = self._total - len(records)
+        else:
+            clocks, send_clock = self._mat_clocks, self._mat_send
+            seq = self._mat_count
+            if seq:
+                records = records[seq:]
+        append = events.append
+        for rec in records:
+            kind, time, node, peer, mtype, msg_id, payload = rec
+            if kind is SEND:
+                lamport = clocks.get(node, 0) + 1
+                clocks[node] = lamport
+                send_clock[msg_id] = lamport
+                detail = _message_detail(payload)
+            elif kind is DELIVER:
+                lamport = max(clocks.get(node, 0),
+                              send_clock.pop(msg_id, 0)) + 1
+                clocks[node] = lamport
+                detail = _message_detail(payload)
+            elif kind is PHASE or kind is REQUEST:
+                lamport = 0
+                detail = payload
+            else:  # TIMER, LOCAL, DROP: a local tick on the acting node
+                lamport = clocks.get(node, 0) + 1
+                clocks[node] = lamport
+                detail = payload
+            append(TraceEvent(seq, time, kind, node, lamport, peer, mtype,
+                              msg_id, detail))
+            seq += 1
+        self._mat_count = self._total
+
+    # -- streaming dispatch (the rare-event kinds share this helper; the
+    #    per-message hooks inline it, they run millions of times) -----------
+
+    def _dispatch(self, kind, time, node, peer, mtype, msg_id, detail):
+        raws = self._raw.get(kind)
+        if raws is not None:
+            for mfilter, sink in raws:
+                if mfilter is None or mtype in mfilter:
+                    sink(kind, time, node, peer, mtype, msg_id, detail)
+        subs = self._subs.get(kind)
+        if subs is not None:
+            event = None
+            for mfilter, sink in subs:
+                if mfilter is None or mtype in mfilter:
+                    if event is None:
+                        event = TraceEvent(self._total - 1, time, kind, node,
+                                           0, peer, mtype, msg_id, detail)
+                    sink(event)
+        for fn in self._counters:
+            fn(kind, node, mtype)
 
     # -- hooks called by the transport --------------------------------------
 
     def on_send(self, src, dst, message):
-        """Record a unicast attempt; returns the token the transport
-        threads through to delivery."""
+        """Record a unicast attempt; returns the ``msg_id`` token the
+        transport threads through to delivery."""
         msg_id = self._next_msg_id
-        self._next_msg_id += 1
-        lamport = self._tick(src)
-        self._emit(SEND, src, lamport, peer=dst, mtype=message.mtype,
-                   msg_id=msg_id, detail=self._message_detail(message))
-        return (msg_id, lamport)
+        self._next_msg_id = msg_id + 1
+        time = self.sim._now
+        mtype = message.mtype
+        self._append((SEND, time, src, dst, mtype, msg_id, message))
+        self._total += 1
+        if self._live:
+            raws = self._send_raw
+            if raws is not None:
+                for mfilter, sink in raws:
+                    if mfilter is None or mtype in mfilter:
+                        sink(SEND, time, src, dst, mtype, msg_id, message)
+            subs = self._send_subs
+            if subs is not None:
+                event = None
+                for mfilter, sink in subs:
+                    if mfilter is None or mtype in mfilter:
+                        if event is None:
+                            event = TraceEvent(
+                                self._total - 1, time, SEND, src, 0, dst,
+                                mtype, msg_id, _message_detail(message))
+                        sink(event)
+            for fn in self._counters:
+                fn(SEND, src, mtype)
+        return msg_id
 
     def on_deliver(self, src, dst, message, token):
-        """Record arrival at a live node (receive rule on dst's clock)."""
-        msg_id, sent_lamport = token
-        value = max(self._clocks.get(dst, 0), sent_lamport) + 1
-        self._clocks[dst] = value
-        self._emit(DELIVER, dst, value, peer=src, mtype=message.mtype,
-                   msg_id=msg_id, detail=self._message_detail(message))
+        """Record arrival at a live node."""
+        time = self.sim._now
+        mtype = message.mtype
+        self._append((DELIVER, time, dst, src, mtype, token, message))
+        self._total += 1
+        if self._live:
+            raws = self._deliver_raw
+            if raws is not None:
+                for mfilter, sink in raws:
+                    if mfilter is None or mtype in mfilter:
+                        sink(DELIVER, time, dst, src, mtype, token, message)
+            subs = self._deliver_subs
+            if subs is not None:
+                event = None
+                for mfilter, sink in subs:
+                    if mfilter is None or mtype in mfilter:
+                        if event is None:
+                            event = TraceEvent(
+                                self._total - 1, time, DELIVER, dst, 0, src,
+                                mtype, token, _message_detail(message))
+                        sink(event)
+            for fn in self._counters:
+                fn(DELIVER, dst, mtype)
 
     def on_drop(self, src, dst, message, reason, token=None):
         """Record a lost message: intercepted, partitioned, dropped by the
         delivery model, or delivered to a crashed/unknown node."""
-        msg_id = token[0] if token is not None else -1
-        lamport = self._tick(src)
-        self._emit(DROP, src, lamport, peer=dst, mtype=message.mtype,
-                   msg_id=msg_id, detail=(("reason", reason),))
+        msg_id = token if token is not None else -1
+        time = self.sim._now
+        mtype = message.mtype
+        detail = (("reason", reason),)
+        self._append((DROP, time, src, dst, mtype, msg_id, detail))
+        self._total += 1
+        if self._live:
+            self._dispatch(DROP, time, src, dst, mtype, msg_id, detail)
 
     # -- hooks called by processes and the metrics collector -----------------
 
     def on_timer(self, node):
         """Record a timer firing on ``node``."""
-        self._emit(TIMER, node, self._tick(node), mtype="timer")
+        time = self.sim._now
+        self._append((TIMER, time, node, "", "timer", -1, ()))
+        self._total += 1
+        if self._live:
+            self._dispatch(TIMER, time, node, "", "timer", -1, ())
 
     def on_phase(self, protocol, phase):
         """Record a protocol-wide phase boundary (mirrors ``mark_phase``)."""
-        self._emit(PHASE, "", 0, mtype=phase,
-                   detail=(("protocol", str(protocol)),))
+        time = self.sim._now
+        detail = (("protocol", str(protocol)),)
+        self._append((PHASE, time, "", "", phase, -1, detail))
+        self._total += 1
+        if self._live:
+            self._dispatch(PHASE, time, "", "", phase, -1, detail)
 
     def on_local(self, node, label, detail=None):
         """Record a protocol-declared milestone (decide, commit, execute)."""
-        self._emit(LOCAL, node, self._tick(node), mtype=label,
-                   detail=canonical_detail(detail or {}))
+        time = self.sim._now
+        pairs = canonical_detail(detail) if detail else ()
+        self._append((LOCAL, time, node, "", label, -1, pairs))
+        self._total += 1
+        if self._live:
+            self._dispatch(LOCAL, time, node, "", label, -1, pairs)
 
     def on_request(self, label, edge):
         """Record a request-span boundary; ``edge`` is start or end."""
-        self._emit(REQUEST, "", 0, mtype=label,
-                   detail=(("edge", str(edge)),))
+        time = self.sim._now
+        detail = (("edge", str(edge)),)
+        self._append((REQUEST, time, "", "", label, -1, detail))
+        self._total += 1
+        if self._live:
+            self._dispatch(REQUEST, time, "", "", label, -1, detail)
 
     def __repr__(self):
-        return "Tracer(%d events, %d nodes)" % (len(self.trace),
-                                                len(self._clocks))
+        window = len(self._records)
+        if self.capacity and window < self._total:
+            return "Tracer(%d events, newest %d ringed)" % (self._total,
+                                                            window)
+        return "Tracer(%d events)" % self._total

@@ -1,0 +1,280 @@
+"""Tests for the observability hot path rebuilt around subscriptions:
+ring-buffer capture with lazy materialization, typed sink dispatch on
+the tracer, batched collector flushes, monitor finish idempotency, and
+the CI perf gate's pure evaluation function."""
+
+from repro.core import Cluster
+from repro.metrics.collector import MetricsCollector
+from repro.monitor import MonitorHub
+from repro.monitor.library import AgreementMonitor, LivenessWatchdog
+from repro.protocols.paxos import run_basic_paxos
+from repro.protocols.pbft import run_pbft
+from repro.telemetry.perfgate import evaluate_gate
+from repro.trace import DELIVER, LOCAL, SEND, to_jsonl
+
+
+def traced_pbft(seed=0, **kwargs):
+    cluster = Cluster(seed=seed, trace=True, **kwargs)
+    run_pbft(cluster, f=1, n_clients=1, operations_per_client=2)
+    return cluster
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default_keeps_everything(self):
+        cluster = traced_pbft()
+        trace = cluster.trace
+        assert len(trace) == trace.events[-1].seq + 1
+        assert trace.events[0].seq == 0
+
+    def test_bounded_ring_keeps_only_the_newest_window(self):
+        capacity = 50
+        full = traced_pbft()
+        ring = traced_pbft(trace_capacity=capacity)
+        events = ring.trace.events
+        assert len(events) == capacity
+        assert len(full.trace) > capacity  # the run really overflowed
+        # The window is the *tail* of the full trace: same seqs, same
+        # kinds, in order.
+        tail = full.trace.events[-capacity:]
+        assert [e.seq for e in events] == [e.seq for e in tail]
+        assert [e.kind for e in events] == [e.kind for e in tail]
+        assert [e.node for e in events] == [e.node for e in tail]
+
+    def test_ring_below_capacity_is_identical_to_unbounded(self):
+        full = traced_pbft()
+        roomy = traced_pbft(trace_capacity=10 ** 6)
+        assert to_jsonl(full.trace) == to_jsonl(roomy.trace)
+
+
+class TestLazyMaterialization:
+    def test_mid_run_query_then_extend_equals_one_shot(self):
+        """Incremental materialization (query, keep running, query
+        again) must produce exactly the clocks a single end-of-run
+        materialization computes."""
+        one_shot = traced_pbft(seed=5)
+        incremental = Cluster(seed=5, trace=True)
+        # Force a materialization mid-run by peeking at the trace from
+        # a scheduled callback, then let the run continue.
+        incremental.sim.schedule(4.0, lambda: incremental.trace.events)
+        run_pbft(incremental, f=1, n_clients=1, operations_per_client=2)
+        assert to_jsonl(one_shot.trace) == to_jsonl(incremental.trace)
+
+    def test_streamed_events_defer_clocks(self):
+        """Subscription sinks see lamport=0 — clocks are a lazy,
+        query-time product, never computed on the hot path."""
+        cluster = Cluster(seed=0, trace=True)
+        streamed = []
+        cluster.tracer.subscribe(streamed.append)
+        run_basic_paxos(cluster, n_acceptors=3, proposals=("X",))
+        assert streamed
+        assert all(event.lamport == 0 for event in streamed)
+        # The materialized trace has real clocks for the same events.
+        assert any(event.lamport > 0 for event in cluster.trace.events)
+
+    def test_bounded_window_clocks_match_unbounded_tail_order(self):
+        """Window rebuild uses fresh clocks: lamport stays monotone per
+        node inside the window even after eviction."""
+        ring = traced_pbft(trace_capacity=60)
+        last = {}
+        for event in ring.trace.events:
+            if event.kind in (SEND, DELIVER):
+                assert event.lamport > last.get(event.node, 0)
+                last[event.node] = event.lamport
+
+
+class TestSubscriptionDispatch:
+    def run_with_sinks(self):
+        cluster = Cluster(seed=0, trace=True)
+        tracer = cluster.tracer
+        log = {"all": [], "local": [], "raw": [], "counts": []}
+        tracer.subscribe(log["all"].append)
+        tracer.subscribe(log["local"].append, kinds=(LOCAL,),
+                         mtypes=("decide",))
+        tracer.subscribe_raw(
+            lambda *args: log["raw"].append(args),
+            kinds=(DELIVER,))
+        tracer.subscribe_counters(
+            lambda kind, node, mtype: log["counts"].append(kind))
+        run_basic_paxos(cluster, n_acceptors=3, proposals=("X",))
+        return cluster, log
+
+    def test_typed_subscription_sees_only_its_kinds(self):
+        cluster, log = self.run_with_sinks()
+        assert log["local"]
+        assert all(e.kind is LOCAL and e.mtype == "decide"
+                   for e in log["local"])
+        kinds_seen = {e.kind for e in log["all"]}
+        assert SEND in kinds_seen and DELIVER in kinds_seen
+
+    def test_catchall_and_counter_channels_cover_every_event(self):
+        cluster, log = self.run_with_sinks()
+        assert len(log["all"]) == len(log["counts"]) == len(cluster.trace)
+
+    def test_raw_channel_carries_the_live_message_object(self):
+        from repro.net.message import Message
+        cluster, log = self.run_with_sinks()
+        assert log["raw"]
+        for kind, _time, _node, _peer, _mtype, _msg_id, payload in \
+                log["raw"]:
+            assert kind is DELIVER
+            assert isinstance(payload, Message)
+
+    def test_subscriptions_do_not_perturb_the_trace(self):
+        plain = Cluster(seed=0, trace=True)
+        run_basic_paxos(plain, n_acceptors=3, proposals=("X",))
+        observed, _ = self.run_with_sinks()
+        assert to_jsonl(plain.trace) == to_jsonl(observed.trace)
+
+
+class TestBatchedCollector:
+    def test_slot_counts_fold_into_aggregates(self):
+        collector = MetricsCollector()
+        slot = collector.slot_for("a", "b", "ping")
+        slot[0] += 3
+        slot[1] += 120
+        assert collector.messages_total == 3
+        assert collector.bytes_total == 120
+        assert collector.by_type["ping"] == 3
+        assert collector.by_link[("a", "b")] == 3
+
+    def test_mid_run_reads_are_exact_at_any_boundary(self):
+        """Every read folds pending slots first, so a monitor reading
+        messages_total mid-run never sees a stale batched value."""
+        collector = MetricsCollector()
+        slot = collector.slot_for("a", "b", "ping")
+        for count in range(1, 6):
+            slot[0] += 1
+            slot[1] += 10
+            assert collector.messages_total == count
+            assert collector.bytes_total == 10 * count
+
+    def test_reset_zeroes_live_slot_references(self):
+        """The network holds direct slot references; reset must zero
+        them in place, not replace them, or post-reset sends vanish."""
+        collector = MetricsCollector()
+        slot = collector.slot_for("a", "b", "ping")
+        slot[0] += 2
+        slot[1] += 20
+        assert collector.messages_total == 2
+        collector.reset()
+        assert collector.messages_total == 0
+        slot[0] += 1  # the network's cached reference, still live
+        slot[1] += 10
+        assert collector.messages_total == 1
+        assert collector.bytes_total == 10
+
+    def test_network_counts_stay_internally_consistent(self):
+        """After a real run through the batched network lane, every
+        aggregate view must describe the same message population."""
+        cluster = Cluster(seed=0)
+        run_pbft(cluster, f=1, n_clients=1, operations_per_client=2)
+        metrics = cluster.metrics
+        assert metrics.messages_total > 0
+        assert metrics.messages_total == sum(metrics.by_type.values())
+        assert metrics.messages_total == sum(metrics.by_sender.values())
+        assert metrics.messages_total == sum(metrics.by_link.values())
+        # Flushed slots hold no residue.
+        assert all(slot == [0, 0] for slot in metrics._slots.values())
+
+
+class TestFinishSemantics:
+    def test_finish_is_idempotent_per_monitor(self):
+        cluster = Cluster(seed=0, trace=True)
+        hub = MonitorHub(cluster.tracer)
+        hub.add(LivenessWatchdog(("decide",)))
+        hub.finish()
+        first = len(hub.anomalies)
+        hub.finish()
+        hub.finish()
+        assert len(hub.anomalies) == first == 1
+
+    def test_monitor_added_after_finish_still_finishes(self):
+        """The double-record bug: a hub-level guard silently skipped
+        monitors added after an earlier finish, losing their end-of-run
+        anomalies.  The guard is per-monitor now."""
+        cluster = Cluster(seed=0, trace=True)
+        hub = MonitorHub(cluster.tracer)
+        hub.add(AgreementMonitor(("decide",)))
+        hub.finish()
+        late = hub.add(LivenessWatchdog(("decide",)))
+        hub.finish()
+        assert len(late.anomalies) == 1  # "no decision at all" emitted
+        assert "no decision" in late.anomalies[0].message
+
+    def test_mid_view_end_still_emits_watchdog_anomaly(self):
+        """A run that ends before any decision (mid-view) must surface
+        the liveness anomaly even across repeated finish calls."""
+        cluster = Cluster(seed=0, monitors=True)
+        cluster.attach_monitors("pbft", n=4, f=1)
+        # No protocol driven: the run "ends" with zero decisions.
+        anomalies = cluster.monitors.finish()
+        again = cluster.monitors.finish()
+        watchdog = [a for a in anomalies if a.monitor == "liveness-watchdog"]
+        assert len(watchdog) == 1
+        assert list(again) == list(anomalies)  # no double-record
+
+
+class TestPerfGate:
+    BASELINE = {
+        "E23_throughput": {
+            "pbft_f1_events_per_sec": 100_000,
+            "pbft_f1_msgs_per_sec": 90_000,
+            "quick": False,
+        },
+        "E24_monitor_overhead": {
+            "pbft_off_events_per_sec": 100_000,
+            "pbft_on_events_per_sec": 60_000,
+            "pbft_overhead_x": 1.7,
+            "quick": False,
+        },
+    }
+
+    def test_identical_snapshots_pass(self):
+        assert evaluate_gate(self.BASELINE, self.BASELINE) == []
+
+    def test_injected_25_percent_regression_fails(self):
+        regressed = {
+            exp: {k: (v * 0.75 if isinstance(v, (int, float))
+                      and not isinstance(v, bool)
+                      and k.endswith("_per_sec") else v)
+                  for k, v in entry.items()}
+            for exp, entry in self.BASELINE.items()
+        }
+        failures = evaluate_gate(self.BASELINE, regressed)
+        assert failures, "a 25% regression must trip the 20% gate"
+        assert any("regressed" in failure for failure in failures)
+
+    def test_small_wobble_within_tolerance_passes(self):
+        wobbled = {
+            exp: {k: (v * 0.9 if isinstance(v, (int, float))
+                      and not isinstance(v, bool)
+                      and k.endswith("_per_sec") else v)
+                  for k, v in entry.items()}
+            for exp, entry in self.BASELINE.items()
+        }
+        assert evaluate_gate(self.BASELINE, wobbled) == []
+
+    def test_overhead_above_cap_fails(self):
+        bloated = {
+            "E24_monitor_overhead":
+                dict(self.BASELINE["E24_monitor_overhead"],
+                     pbft_overhead_x=3.4),
+        }
+        failures = evaluate_gate(self.BASELINE, bloated)
+        assert any("overhead" in failure.lower() or "cap" in failure
+                   for failure in failures)
+
+    def test_quick_vs_full_rates_not_compared(self):
+        """Quick-mode workloads are smaller, so their rates are a
+        different measurement; only the overhead ratios gate."""
+        quick = {
+            exp: dict(entry, quick=True,
+                      **{k: v * 0.5 for k, v in entry.items()
+                         if k.endswith("_per_sec")})
+            for exp, entry in self.BASELINE.items()
+        }
+        assert evaluate_gate(self.BASELINE, quick) == []
+
+    def test_missing_keys_are_skipped_not_failed(self):
+        assert evaluate_gate(self.BASELINE, {}) == []
+        assert evaluate_gate({}, self.BASELINE) == []
