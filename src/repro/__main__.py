@@ -172,6 +172,36 @@ def _run_shards(cluster):
                stats["decisions_replicated"]))
 
 
+def _run_parallel_fleet(spec):
+    """Run one partitioned fleet; returns ``(run, None)`` or
+    ``(None, error-message)`` for the exit-1 path."""
+    from .parallel import WorkerFailure, run_parallel_shards
+    try:
+        return run_parallel_shards(spec), None
+    except WorkerFailure as exc:
+        return None, str(exc)
+
+
+def _reject_non_shards_workers(args):
+    """``--workers`` partitions the sharded fleet; other protocols have
+    no domain decomposition to partition."""
+    if args.protocol != "shards":
+        print("--workers applies to the sharded fleet only "
+              "(use protocol 'shards')")
+        return True
+    return False
+
+
+def _print_parallel_workload(run):
+    from .parallel import merged_workload
+    for index, segment in enumerate(merged_workload(run), 1):
+        print("workload %d: %d/%d committed (%d cross-shard, %d fast-path)"
+              " in %.1f virtual time"
+              % (index, segment["committed"], segment["txns"],
+                 segment["cross_shard"], segment["fast_commits"],
+                 segment["virtual_time"]))
+
+
 def cmd_run(args):
     runner = _RUNNERS.get(args.protocol)
     if runner is None:
@@ -194,6 +224,8 @@ def cmd_run(args):
 
 def cmd_trace(args):
     from .trace import render_flow, write_jsonl
+    if args.workers is not None:
+        return _cmd_trace_parallel(args)
     runner = _RUNNERS.get(args.protocol)
     if runner is None:
         print("unknown or non-runnable protocol %r; choices: %s"
@@ -219,6 +251,36 @@ def cmd_trace(args):
     return 0
 
 
+def _cmd_trace_parallel(args):
+    from .parallel import FleetSpec, merge_trace, merged_summary
+    from .trace import render_flow, write_jsonl
+    if _reject_non_shards_workers(args):
+        return 2
+    spec = FleetSpec(seed=args.seed, workers=args.workers, trace=True)
+    run, error = _run_parallel_fleet(spec)
+    if error is not None:
+        print("PARALLEL RUN FAILED: %s" % error)
+        return 1
+    trace = merge_trace(run)
+    if args.jsonl:
+        try:
+            count = write_jsonl(trace, args.jsonl)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.jsonl, exc))
+            return 1
+        print("wrote %s (%d events)" % (args.jsonl, count))
+    print(render_flow(trace, nodes=spec.fleet_names() + ["driver"],
+                      max_rows=args.limit,
+                      include_delivers=args.delivers,
+                      include_timers=args.timers))
+    _print_parallel_workload(run)
+    print("trace: %d events | messages: %d | virtual time: %.1f"
+          " | %d worker(s), %d epochs"
+          % (len(trace), merged_summary(run)["messages_total"],
+             run.virtual_time, run.workers, run.epochs))
+    return 0
+
+
 def cmd_stats(args):
     from .telemetry import (
         render_summary,
@@ -226,6 +288,8 @@ def cmd_stats(args):
         write_prometheus,
         write_report,
     )
+    if args.workers is not None:
+        return _cmd_stats_parallel(args)
     runner = _RUNNERS.get(args.protocol)
     if runner is None:
         print("unknown or non-runnable protocol %r; choices: %s"
@@ -259,6 +323,47 @@ def cmd_stats(args):
     return 0
 
 
+def _cmd_stats_parallel(args):
+    from .parallel import (
+        FleetSpec,
+        build_stats_report,
+        merge_registry,
+        merged_summary,
+    )
+    from .telemetry import render_summary, write_prometheus, write_report
+    if _reject_non_shards_workers(args):
+        return 2
+    spec = FleetSpec(seed=args.seed, workers=args.workers, telemetry=True)
+    run, error = _run_parallel_fleet(spec)
+    if error is not None:
+        print("PARALLEL RUN FAILED: %s" % error)
+        return 1
+    registry = merge_registry(run)
+    report = build_stats_report(run)
+    if args.json:
+        try:
+            count = write_report(report, args.json)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.json, exc))
+            return 1
+        print("wrote %s (%d series)" % (args.json, count))
+    if args.prom:
+        try:
+            count = write_prometheus(registry, args.prom)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.prom, exc))
+            return 1
+        print("wrote %s (%d series)" % (args.prom, count))
+    print(render_summary(registry, title="shards (seed %d)" % args.seed))
+    print()
+    _print_parallel_workload(run)
+    print("telemetry: %d series | messages: %d | virtual time: %.1f"
+          " | %d worker(s), %d epochs"
+          % (len(registry), merged_summary(run)["messages_total"],
+             run.virtual_time, run.workers, run.epochs))
+    return 0
+
+
 def cmd_check(args):
     from .monitor import (
         check_protocols,
@@ -268,6 +373,8 @@ def cmd_check(args):
         supported_faults,
         write_report,
     )
+    if args.workers is not None:
+        return _cmd_check_parallel(args)
     checkable = check_protocols() + fleet_checks()
     if args.all:
         protocols = checkable
@@ -306,6 +413,35 @@ def cmd_check(args):
         print(render_report(report))
         failed = failed or not report["ok"]
     return 1 if failed else 0
+
+
+def _cmd_check_parallel(args):
+    from .monitor import render_report, write_report
+    from .parallel import FleetSpec, build_check_report
+    if args.all:
+        print("--workers checks the sharded fleet only; drop --all")
+        return 2
+    if args.faults is not None:
+        print("--workers does not support --faults "
+              "(fault scenarios are sequential-only)")
+        return 2
+    if _reject_non_shards_workers(args):
+        return 2
+    spec = FleetSpec(seed=args.seed, workers=args.workers, monitors=True)
+    run, error = _run_parallel_fleet(spec)
+    if error is not None:
+        print("PARALLEL RUN FAILED: %s" % error)
+        return 1
+    report = build_check_report(run)
+    if args.json:
+        try:
+            write_report(report, args.json)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.json, exc))
+            return 2
+        print("wrote %s" % args.json)
+    print(render_report(report))
+    return 0 if report["ok"] else 1
 
 
 #: Scenario scale (n, f) per runnable protocol, for ``profile
@@ -399,9 +535,102 @@ def cmd_mine(args):
     return 0
 
 
+def _cmd_shards_parallel(args):
+    from .parallel import (
+        FleetSpec,
+        build_check_report,
+        merged_consistency,
+        merged_stats,
+    )
+    if args.split or args.crash_shard:
+        print("--workers does not support --split/--crash-shard "
+              "(reconfiguration and fault scenarios are sequential-only)")
+        return 2
+    try:
+        spec = FleetSpec(
+            seed=args.seed, n_shards=args.shards, replicas=args.replicas,
+            protocol=args.protocol, partitioning=args.partitioning,
+            key_space=args.keys, txns=args.txns, cross_ratio=args.cross,
+            workers=args.workers, monitors=args.monitors)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    print("fleet: %d shards x %d replicas = %d nodes (%s, %s-partitioned,"
+          " seed %d) | %d worker(s), epoch %.1f"
+          % (args.shards, args.replicas, args.shards * args.replicas,
+             args.protocol, args.partitioning, args.seed, args.workers,
+             spec.epoch))
+    run, error = _run_parallel_fleet(spec)
+    if error is not None:
+        print("PARALLEL RUN FAILED: %s" % error)
+        return 1
+    _print_parallel_workload(run)
+    consistent = all(merged_consistency(run).values())
+    print("per-shard consistency: %s" % consistent)
+    failed = not consistent
+    if args.monitors:
+        report = build_check_report(run)
+        anomalies = report["anomalies"]
+        print("monitors: %d anomaly(ies)" % len(anomalies))
+        for anomaly in anomalies[:10]:
+            print("  [%s] %s" % (anomaly["monitor"], anomaly["message"]))
+        failed = failed or bool(anomalies)
+    stats = merged_stats(run)
+    print("totals: %d commits (%d fast-path, %d replicated decisions), "
+          "%d aborts, %d conflicts, %d reroutes"
+          % (stats["commits"], stats["fast_commits"],
+             stats["decisions_replicated"], stats["aborts"],
+             stats["conflicts"], stats["reroutes"]))
+    print("parallel: %d epochs | %d events | virtual time: %.1f"
+          % (run.epochs, run.total_events, run.virtual_time))
+    return 1 if failed else 0
+
+
+def _parse_seeds(text):
+    """``A..B`` (inclusive), ``N``, or ``N,M,...`` -> list of ints, or
+    None when the text does not parse."""
+    text = text.strip()
+    if ".." in text:
+        head, _, tail = text.partition("..")
+        try:
+            lo, hi = int(head), int(tail)
+        except ValueError:
+            return None
+        if hi < lo:
+            return None
+        return list(range(lo, hi + 1))
+    try:
+        return [int(part) for part in text.split(",")]
+    except ValueError:
+        return None
+
+
+def cmd_sweep(args):
+    from .parallel import sweep
+    if args.protocol not in _RUNNERS:
+        print("unknown or non-runnable protocol %r; choices: %s"
+              % (args.protocol, ", ".join(sorted(_RUNNERS))))
+        return 1
+    seeds = _parse_seeds(args.seeds)
+    if seeds is None:
+        print("bad --seeds %r (use A..B, a single N, or N,M,...)"
+              % (args.seeds,))
+        return 2
+    rows = sweep(args.protocol, seeds, workers=args.workers)
+    for row in rows:
+        print("seed %d: %s | messages: %d | virtual time: %.1f"
+              % (row["seed"], row["summary"], row["messages"],
+                 row["virtual_time"]))
+    print("swept %d seed(s) of %s with %d worker(s)"
+          % (len(rows), args.protocol, args.workers))
+    return 0
+
+
 def cmd_shards(args):
     from .core.exceptions import LivenessFailure
     from .shard import ShardedCluster
+    if args.workers is not None:
+        return _cmd_shards_parallel(args)
     try:
         sharded = ShardedCluster(
             n_shards=args.shards, replicas=args.replicas, seed=args.seed,
@@ -600,6 +829,26 @@ def main(argv=None):
     shards_parser.add_argument("--monitors", action="store_true",
                                help="run under per-shard conformance "
                                     "monitors")
+    shards_parser.add_argument("--workers", type=int, default=None,
+                               metavar="K",
+                               help="run the fleet on K parallel worker "
+                                    "processes (deterministic: identical "
+                                    "results at every K)")
+    for extra in (trace_parser, stats_parser, check_parser):
+        extra.add_argument("--workers", type=int, default=None, metavar="K",
+                           help="shards only: run the partitioned fleet on "
+                                "K parallel worker processes (merged output "
+                                "is byte-identical at every K)")
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run one protocol across a seed range on parallel worker "
+             "processes; rows always print in seed order")
+    sweep_parser.add_argument("protocol", help="e.g. paxos, pbft, shards")
+    sweep_parser.add_argument("--seeds", default="0..3", metavar="A..B",
+                              help="seed range A..B (inclusive), a single "
+                                   "N, or N,M,... (default 0..3)")
+    sweep_parser.add_argument("--workers", type=int, default=1, metavar="K",
+                              help="parallel worker processes (default 1)")
     args = parser.parse_args(argv)
     handler = {
         "list": cmd_list,
@@ -613,6 +862,7 @@ def main(argv=None):
         "kv": cmd_kv,
         "mine": cmd_mine,
         "shards": cmd_shards,
+        "sweep": cmd_sweep,
     }[args.command]
     return handler(args)
 

@@ -62,9 +62,17 @@ class ThresholdScheme:
         self.members = members
         self._seed = seed
         self._group_key = hashlib.sha256(seed + b"|group").digest()
+        self._share_keys = {}
 
     def _share_key(self, name):
-        return hashlib.sha256(self._seed + b"|share|" + name.encode("utf-8")).digest()
+        # Key derivation is deterministic per (seed, name); sign/verify
+        # hit it once per partial signature, so memoise per scheme.
+        key = self._share_keys.get(name)
+        if key is None:
+            key = hashlib.sha256(
+                self._seed + b"|share|" + name.encode("utf-8")).digest()
+            self._share_keys[name] = key
+        return key
 
     def sign_share(self, name, *values):
         """Produce ``name``'s partial signature over ``values``."""

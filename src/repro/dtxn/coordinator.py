@@ -283,7 +283,7 @@ class TxnCoordinator(Node):
             if txn.outcome == "aborted-by-logic":
                 self._finish(txn, "aborted")
             else:
-                delay = self.sim.rng.uniform(*self.backoff)
+                delay = self.rng.uniform(*self.backoff)
                 self.set_timer(delay, self._begin_attempt, txn)
 
     def _abort_then_retry(self, txn, replies):

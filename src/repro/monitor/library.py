@@ -165,9 +165,19 @@ class QuorumCertificateMonitor(Monitor):
         return {DELIVER: (self.ack_mtype,)}
 
     def observe_raw(self, kind, time, node, peer, mtype, msg_id, payload):
+        # Hot path: one call per certificate-mtype delivery.  get-then-
+        # insert rather than setdefault — the latter builds a throwaway
+        # set per ack, and acks outnumber certificates by the quorum
+        # size.
         links = self._extract(payload)
-        if links is not None:
-            self._acks.setdefault((node, links), set()).add(peer)
+        if links is None:
+            return
+        key = (node, links)
+        got = self._acks.get(key)
+        if got is None:
+            self._acks[key] = {peer}
+        else:
+            got.add(peer)
 
     def _links(self, event):
         values = tuple(event.get(key) for key in self.link_keys)

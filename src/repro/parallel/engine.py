@@ -1,0 +1,267 @@
+"""The conservative parallel engine: epoch barriers over worker fleets.
+
+Classic conservative PDES (Chandy–Misra lookahead, specialised to a
+barrier protocol): the fleet's synchronization domains are partitioned
+across workers, every cross-domain link has latency at least
+``cross_low``, and the run advances in epochs of length
+``epoch <= cross_low``.  Within an epoch each worker simulates its
+domains completely independently — no message sent during the epoch
+can be due before the epoch ends, so no worker can miss an input.  At
+the barrier the engine gathers every worker's cross-domain outbox,
+sorts it into one global order ``(deliver_time, src_domain,
+dst_domain, link_seq)``, and routes each entry to the worker hosting
+its destination domain, which injects it before running the next
+epoch.
+
+Because the merge order, every random stream, and every worker-local
+event order are independent of the partitioning, a run at any worker
+count produces *byte-identical* traces, telemetry and reports — the
+golden suite enforces it.
+
+Termination cannot use queue emptiness (heartbeat timers keep every
+queue busy forever): worker 0 reports when the workload driver has
+finished, the engine then runs ``drain_epochs`` more epochs so
+in-flight decisions and consistency-relevant catch-up settle, and the
+final barrier's horizon becomes the run's virtual time everywhere.
+
+Worker faults (a crashed process, an exception inside a worker's
+simulator, the ``REPRO_PARALLEL_FAIL`` injection hook) surface as
+:class:`WorkerFailure` after every other worker is shut down cleanly.
+"""
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+
+from .partition import assign_domains
+from .worker import FleetWorker
+
+__all__ = ["WorkerFailure", "RunResult", "run_parallel_shards", "FAIL_ENV"]
+
+#: Environment hook for CI fault injection: ``"<worker>:<epoch>"`` makes
+#: that worker raise at that epoch barrier.
+FAIL_ENV = "REPRO_PARALLEL_FAIL"
+
+
+class WorkerFailure(RuntimeError):
+    """A worker died or misbehaved; the run was shut down cleanly."""
+
+
+@dataclass
+class RunResult:
+    """Everything a merged report needs from one parallel run."""
+
+    spec: object
+    assignment: list
+    epochs: int
+    virtual_time: float
+    total_events: int
+    #: Sum over epochs of the slowest worker's CPU time plus the
+    #: engine's merge CPU — the run's critical path.  On a machine with
+    #: at least ``workers`` free cores this converges to wall time; on
+    #: a loaded one it is the honest denominator for scaling claims.
+    critical_path_seconds: float
+    wall_seconds: float
+    #: Per-worker finalize payloads, indexed by worker.
+    results: list = field(default_factory=list)
+
+    @property
+    def workers(self):
+        return len(self.results)
+
+
+class _InlineHandle:
+    """In-process worker — the ``workers == 1`` engine, unit tests, and
+    the fallback when ``fork`` is unavailable."""
+
+    def __init__(self, spec, widx, domains):
+        self.widx = widx
+        self.worker = FleetWorker(spec, widx, domains)
+        self._result = None
+
+    def start_epoch(self, epoch, horizon, injected):
+        try:
+            self._status = self.worker.run_epoch(epoch, horizon, injected)
+        except Exception as exc:
+            raise WorkerFailure(
+                "worker %d failed at epoch %d: %s"
+                % (self.widx, epoch, exc)) from exc
+
+    def join_epoch(self):
+        return self._status
+
+    def start_finalize(self, virtual_time):
+        self._result = self.worker.finalize(virtual_time)
+
+    def join_finalize(self):
+        return self._result
+
+    def close(self):
+        pass
+
+
+def _worker_main(conn, spec, widx, domains):
+    """Child-process loop: build the worker, then serve epoch/finalize
+    commands until told to exit.  Any exception (construction included)
+    is shipped back as a traceback string."""
+    try:
+        worker = FleetWorker(spec, widx, domains)
+        conn.send(("ready",))
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "epoch":
+                _kind, epoch, horizon, injected = msg
+                conn.send(("status",
+                           worker.run_epoch(epoch, horizon, injected)))
+            elif kind == "finalize":
+                conn.send(("result", worker.finalize(msg[1])))
+                return
+            else:  # "exit"
+                return
+    except EOFError:
+        pass  # parent went away first (it is already erroring out)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessHandle:
+    """One forked worker process behind a pipe."""
+
+    def __init__(self, ctx, spec, widx, domains):
+        self.widx = widx
+        self.conn, child = ctx.Pipe()
+        self.proc = ctx.Process(target=_worker_main,
+                                args=(child, spec, widx, domains),
+                                daemon=True)
+        self.proc.start()
+        child.close()
+        self._expect("ready")
+
+    def _recv(self):
+        try:
+            return self.conn.recv()
+        except EOFError:
+            raise WorkerFailure(
+                "worker %d died without reporting an error" % self.widx)
+
+    def _expect(self, kind):
+        msg = self._recv()
+        if msg[0] == "error":
+            raise WorkerFailure("worker %d failed:\n%s"
+                                % (self.widx, msg[1]))
+        if msg[0] != kind:
+            raise WorkerFailure(
+                "worker %d protocol error: expected %r, got %r"
+                % (self.widx, kind, msg[0]))
+        return msg
+
+    def start_epoch(self, epoch, horizon, injected):
+        self.conn.send(("epoch", epoch, horizon, injected))
+
+    def join_epoch(self):
+        return self._expect("status")[1]
+
+    def start_finalize(self, virtual_time):
+        self.conn.send(("finalize", virtual_time))
+
+    def join_finalize(self):
+        return self._expect("result")[1]
+
+    def close(self):
+        try:
+            self.conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.conn.close()
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout=5.0)
+
+
+def _spawn(spec, assignment):
+    use_processes = (spec.workers > 1 and not spec.inline
+                     and "fork" in multiprocessing.get_all_start_methods())
+    handles = []
+    if use_processes:
+        ctx = multiprocessing.get_context("fork")
+        for widx, domains in enumerate(assignment):
+            handles.append(_ProcessHandle(ctx, spec, widx, domains))
+    else:
+        for widx, domains in enumerate(assignment):
+            handles.append(_InlineHandle(spec, widx, domains))
+    return handles
+
+
+def run_parallel_shards(spec):
+    """Run one sharded fleet under the parallel engine; returns a
+    :class:`RunResult` whose merged outputs are byte-identical at every
+    worker count."""
+    fail_env = os.environ.get(FAIL_ENV)
+    if fail_env:
+        widx, _, at_epoch = fail_env.partition(":")
+        spec = replace(spec, fail_worker=(int(widx), int(at_epoch or 0)))
+    assignment = assign_domains(spec)
+    domain_owner = {domain: widx
+                    for widx, domains in enumerate(assignment)
+                    for domain in domains}
+    wall_start = time.perf_counter()
+    handles = []
+    try:
+        handles = _spawn(spec, assignment)
+        pending = [[] for _ in handles]
+        critical_path = 0.0
+        epoch = 0
+        done_epoch = None
+        while True:
+            horizon = (epoch + 1) * spec.epoch
+            for handle in handles:
+                handle.start_epoch(epoch, horizon, pending[handle.widx])
+            pending = [[] for _ in handles]
+            statuses = [handle.join_epoch() for handle in handles]
+            merge_start = time.process_time()
+            outbox = []
+            for status in statuses:
+                outbox.extend(status["outbox"])
+            # The deterministic merge: one global order, independent of
+            # which worker contributed which entry.
+            outbox.sort(key=lambda e: (e[0], e[1], e[2], e[3]))
+            for entry in outbox:
+                pending[domain_owner[entry[2]]].append(entry)
+            critical_path += max(s["cpu"] for s in statuses) \
+                + (time.process_time() - merge_start)
+            if done_epoch is None and statuses[0]["driver_done"]:
+                done_epoch = epoch
+            if done_epoch is not None \
+                    and epoch >= done_epoch + spec.drain_epochs:
+                virtual_time = horizon
+                break
+            epoch += 1
+            if epoch >= spec.max_epochs:
+                raise WorkerFailure(
+                    "run did not finish within %d epochs "
+                    "(virtual time %.1f)" % (spec.max_epochs, horizon))
+        for handle in handles:
+            handle.start_finalize(virtual_time)
+        results = [handle.join_finalize() for handle in handles]
+        return RunResult(
+            spec=spec,
+            assignment=assignment,
+            epochs=epoch + 1,
+            virtual_time=virtual_time,
+            total_events=sum(res["events"] for res in results),
+            critical_path_seconds=critical_path,
+            wall_seconds=time.perf_counter() - wall_start,
+            results=results,
+        )
+    finally:
+        for handle in handles:
+            handle.close()

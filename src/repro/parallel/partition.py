@@ -1,0 +1,68 @@
+"""Balance-aware assignment of synchronization domains to workers.
+
+Longest-processing-time (LPT) greedy: sort domains by descending weight
+(replica count; the control tier weighs one coordinator plus the
+driver), then repeatedly give the heaviest unassigned domain to the
+lightest worker.  Ties break on worker index, so the assignment is a
+pure function of the spec — every run of every worker count computes
+the identical layout.
+
+The control tier is *pinned to worker 0*: the workload driver calls the
+coordinator directly (same domain), and keeping them on the first
+worker makes ``driver_done`` reporting trivial.
+"""
+
+from .spec import CTL_DOMAIN
+
+__all__ = ["assign_domains", "domain_weights"]
+
+
+def domain_weights(spec):
+    """``[(domain, weight), ...]`` — replicas per shard; the control
+    tier is weighted like two shards, matching its measured CPU share
+    (every transaction's 2PC round-trips through the one coordinator,
+    which costs about two consensus groups' worth of event processing).
+    Weights only steer placement — placement is invisible to every
+    observable — so this is a pure load-balance tunable."""
+    weights = [(CTL_DOMAIN, 2.0 * spec.replicas)]
+    for gid in spec.shard_ids():
+        weights.append((gid, float(spec.replicas)))
+    return weights
+
+
+def assign_domains(spec):
+    """Domains per worker: a list of ``workers`` sorted domain lists.
+
+    Deterministic LPT with the control tier pinned to worker 0.  Workers
+    beyond the domain count simply receive empty assignments (they idle
+    through every epoch — correct, just useless).
+    """
+    workers = spec.workers
+    loads = [0.0] * workers
+    assignment = [[] for _ in range(workers)]
+    shards = []
+    for domain, weight in domain_weights(spec):
+        if domain == CTL_DOMAIN:
+            loads[0] += weight
+            assignment[0].append(domain)
+        else:
+            shards.append((domain, weight))
+    # Heaviest first; equal weights keep shard-id order for stability.
+    shards.sort(key=lambda item: (-item[1], _shard_index(item[0])))
+    for domain, weight in shards:
+        target = min(range(workers), key=lambda w: (loads[w], w))
+        loads[target] += weight
+        assignment[target].append(domain)
+    return [sorted(domains, key=_domain_sort_key)
+            for domains in assignment]
+
+
+def _shard_index(gid):
+    return int(gid[1:])
+
+
+def _domain_sort_key(domain):
+    # Control tier first, then shards in numeric order.
+    if domain == CTL_DOMAIN:
+        return (0, 0)
+    return (1, _shard_index(domain))

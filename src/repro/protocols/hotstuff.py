@@ -19,6 +19,7 @@ decides one block per view, which is the throughput claim E11 measures.
 """
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..core.exceptions import ConfigurationError
 from ..core.node import Node
@@ -151,9 +152,8 @@ class BasicHotStuffReplica(Node):
         if self.network.metrics is not None:
             self.network.metrics.mark_phase("hotstuff", phase, self.sim.now)
         message = HsPhaseMsg(self.view, phase, node_hash, operation, justify)
-        for peer in self.peers:
-            if peer != self.name:
-                self.send(peer, message)
+        self.multicast([peer for peer in self.peers if peer != self.name],
+                       message)
         self._on_phase_msg(message)  # leader processes its own broadcast
 
     # -- replica side -----------------------------------------------------------
@@ -277,8 +277,12 @@ class Block:
     justify_view: int
     justify: object  # ThresholdSignature over (justify_view, parent)
 
-    @property
+    @cached_property
     def hash(self):
+        # Blocks are immutable, and chain walks (_extends, _commit_chain,
+        # _next_command) touch .hash thousands of times per run — cache
+        # the digest per instance.  cached_property writes straight into
+        # __dict__, which frozen dataclasses allow.
         return sha256_hex(self.view, self.parent, self.command,
                           self.justify_view)
 
@@ -392,9 +396,8 @@ class ChainedHotStuffReplica(Node):
                 # a re-proposal after a failed view keeps the original.
                 metrics.start_request(label, self.sim.now)
         proposal = Proposal(block)
-        for peer in self.peers:
-            if peer != self.name:
-                self.send(peer, proposal)
+        self.multicast([peer for peer in self.peers if peer != self.name],
+                       proposal)
         self.handle_proposal(proposal, self.name)
 
     def handle_proposal(self, msg, src):

@@ -210,7 +210,7 @@ class MultiPaxosReplica(Node):
     def _arm_election_timer(self):
         if self._election_timer is not None:
             self._election_timer.cancel()
-        jitter = self.sim.rng.uniform(0.0, self.election_timeout)
+        jitter = self.rng.uniform(0.0, self.election_timeout)
         self._election_timer = self.set_timer(
             self.election_timeout + jitter, self._start_prepare
         )

@@ -224,7 +224,7 @@ class RaftNode(Node):
     def _arm_election_timer(self):
         if self._election_timer is not None:
             self._election_timer.cancel()
-        timeout = self.election_timeout + self.sim.rng.uniform(
+        timeout = self.election_timeout + self.rng.uniform(
             0.0, self.election_timeout
         )
         self._election_timer = self.set_timer(timeout, self._start_election)

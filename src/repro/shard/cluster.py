@@ -195,7 +195,13 @@ class ShardedCluster:
         cross-shard.  Transfers conserve the keyspace total (no
         overdraft guard; balances may go negative), so
         ``total_of(all keys) == 0`` afterwards is a safety check.
-        Returns summary stats including committed/virtual-time/tps.
+
+        The returned summary's ``committed_per_vtime`` is committed
+        transactions per unit of *simulated* time (the same units every
+        message delay uses; in-shard hops are 0.5–1.5 units).  It is a
+        dimensionless scheduling-density figure for comparing
+        configurations under one delay model — not a wall-clock TPS and
+        not comparable across delay models.
         """
         rng = random.Random(0x5AD0 + self.seed)
         started = self.now
@@ -227,7 +233,8 @@ class ShardedCluster:
                 if len({self.shard_of(k) for k in txn.keys}) > 1),
             "fast_commits": self.coordinator.fast_commits,
             "virtual_time": duration,
-            "tps": committed / duration if duration > 0 else 0.0,
+            "committed_per_vtime": committed / duration
+            if duration > 0 else 0.0,
         }
 
     def _random_transfer(self, rng, cross_ratio, amount):

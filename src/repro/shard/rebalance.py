@@ -116,7 +116,7 @@ class SplitOrchestrator(Node):
         if result[0] == "busy":
             # A transaction still holds locks in the range: back off a
             # randomized delay and re-ask — the drain loop.
-            delay = self.sim.rng.uniform(*self.BUSY_BACKOFF)
+            delay = self.rng.uniform(*self.BUSY_BACKOFF)
             self.set_timer(delay, self._send, gid, command, "freeze")
             return
         items = result[1]

@@ -70,6 +70,11 @@ class Process:
     def __init__(self, sim, name):
         self.sim = sim
         self.name = name
+        #: Random source for this process's own draws (election jitter,
+        #: backoff).  Defaults to the simulator-wide stream; partitioned
+        #: runs rebind it to a per-domain stream so a process's draw
+        #: sequence does not depend on which worker hosts it.
+        self.rng = sim.rng
         self.crashed = False
         self._timers = []
         self._started = False

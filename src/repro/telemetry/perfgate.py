@@ -7,7 +7,11 @@ families of checks:
 
 * **Throughput regression** — every ``*_events_per_sec`` /
   ``*_msgs_per_sec`` rate in the gated experiments (E23 throughput,
-  E24 monitor overhead) must stay within ``max_regression`` (default
+  E24 monitor overhead, E26 parallel scaling — the latter's
+  ``fleet_wK_events_per_sec`` critical-path rates plus their
+  per-worker-normalized ``fleet_wK_norm_events_per_sec`` twins, so a
+  barrier-overhead regression trips the gate even if raw scaling still
+  clears the bench floor) must stay within ``max_regression`` (default
   20%) of the baseline.  Rates present in only one snapshot are
   skipped: the gate compares, it does not demand coverage.  Rates are
   also skipped when one snapshot is quick-mode and the other is not —
@@ -41,7 +45,8 @@ import json
 import sys
 
 #: Experiments whose rates the gate defends.
-GATED_EXPERIMENTS = ("E23_throughput", "E24_monitor_overhead")
+GATED_EXPERIMENTS = ("E23_throughput", "E24_monitor_overhead",
+                     "E26_parallel_scaling")
 
 #: Rate-key suffixes compared between baseline and current.
 RATE_SUFFIXES = ("_events_per_sec", "_msgs_per_sec")

@@ -73,6 +73,29 @@ def _message_detail(message):
     return tuple(pairs)
 
 
+def _compile_row(entries):
+    """Compile ``[(mfilter, sink), ...]`` into ``(catchall, by_mtype)``.
+
+    ``catchall`` is the tuple of unfiltered sinks; ``by_mtype`` maps
+    each subscribed mtype to the tuple of sinks filtered onto it.  The
+    dispatch hooks then route an event with one dict probe instead of
+    testing it against every sink's filter — the difference between
+    O(sinks) and O(1) on pbft's ack-heavy deliver stream.  Catchall
+    sinks fire before filtered ones; monitors are independent observers
+    (each sees only its own subscribed stream), so relative sink order
+    within one event is not observable.
+    """
+    catchall = tuple(sink for mfilter, sink in entries if mfilter is None)
+    by_mtype = {}
+    for mfilter, sink in entries:
+        if mfilter is None:
+            continue
+        for mtype in mfilter:
+            by_mtype.setdefault(mtype, []).append(sink)
+    return catchall, {mtype: tuple(sinks)
+                      for mtype, sinks in by_mtype.items()}
+
+
 class _LiveTrace(Trace):
     """A :class:`Trace` view over a tracer's ring buffer.
 
@@ -122,6 +145,15 @@ class Tracer:
         self.trace = _LiveTrace(self)
         # -- streaming state (only touched while sinks are registered) --
         self._live = False
+        #: kind -> [(mfilter, sink), ...] in registration order; the
+        #: source of truth the compiled dispatch rows are rebuilt from.
+        self._sub_entries = {}
+        self._raw_entries = {}
+        #: kind -> (catchall sinks, mtype -> sinks) compiled rows: one
+        #: dict probe routes an event instead of scanning every sink's
+        #: mtype filter — pbft's ack-heavy deliver stream carries
+        #: several filtered monitors, none of which should cost the
+        #: thousands of non-matching deliveries a membership test each.
         self._subs = {}
         self._raw = {}
         self._send_subs = None
@@ -150,7 +182,9 @@ class Tracer:
         self._live = True
         mfilter = frozenset(mtypes) if mtypes is not None else None
         for kind in (KINDS if kinds is None else kinds):
-            self._subs[kind] = self._subs.get(kind, ()) + ((mfilter, sink),)
+            entries = self._sub_entries.setdefault(kind, [])
+            entries.append((mfilter, sink))
+            self._subs[kind] = _compile_row(entries)
         # The two hottest hooks read their row straight off the tracer.
         self._send_subs = self._subs.get(SEND)
         self._deliver_subs = self._subs.get(DELIVER)
@@ -170,7 +204,9 @@ class Tracer:
         self._live = True
         mfilter = frozenset(mtypes) if mtypes is not None else None
         for kind in (KINDS if kinds is None else kinds):
-            self._raw[kind] = self._raw.get(kind, ()) + ((mfilter, sink),)
+            entries = self._raw_entries.setdefault(kind, [])
+            entries.append((mfilter, sink))
+            self._raw[kind] = _compile_row(entries)
         self._send_raw = self._raw.get(SEND)
         self._deliver_raw = self._raw.get(DELIVER)
         return sink
@@ -247,18 +283,24 @@ class Tracer:
     def _dispatch(self, kind, time, node, peer, mtype, msg_id, detail):
         raws = self._raw.get(kind)
         if raws is not None:
-            for mfilter, sink in raws:
-                if mfilter is None or mtype in mfilter:
+            for sink in raws[0]:
+                sink(kind, time, node, peer, mtype, msg_id, detail)
+            matched = raws[1].get(mtype)
+            if matched is not None:
+                for sink in matched:
                     sink(kind, time, node, peer, mtype, msg_id, detail)
         subs = self._subs.get(kind)
         if subs is not None:
-            event = None
-            for mfilter, sink in subs:
-                if mfilter is None or mtype in mfilter:
-                    if event is None:
-                        event = TraceEvent(self._total - 1, time, kind, node,
-                                           0, peer, mtype, msg_id, detail)
+            catchall = subs[0]
+            matched = subs[1].get(mtype)
+            if catchall or matched:
+                event = TraceEvent(self._total - 1, time, kind, node,
+                                   0, peer, mtype, msg_id, detail)
+                for sink in catchall:
                     sink(event)
+                if matched is not None:
+                    for sink in matched:
+                        sink(event)
         for fn in self._counters:
             fn(kind, node, mtype)
 
@@ -276,19 +318,25 @@ class Tracer:
         if self._live:
             raws = self._send_raw
             if raws is not None:
-                for mfilter, sink in raws:
-                    if mfilter is None or mtype in mfilter:
+                for sink in raws[0]:
+                    sink(SEND, time, src, dst, mtype, msg_id, message)
+                matched = raws[1].get(mtype)
+                if matched is not None:
+                    for sink in matched:
                         sink(SEND, time, src, dst, mtype, msg_id, message)
             subs = self._send_subs
             if subs is not None:
-                event = None
-                for mfilter, sink in subs:
-                    if mfilter is None or mtype in mfilter:
-                        if event is None:
-                            event = TraceEvent(
-                                self._total - 1, time, SEND, src, 0, dst,
-                                mtype, msg_id, _message_detail(message))
+                catchall = subs[0]
+                matched = subs[1].get(mtype)
+                if catchall or matched:
+                    event = TraceEvent(
+                        self._total - 1, time, SEND, src, 0, dst,
+                        mtype, msg_id, _message_detail(message))
+                    for sink in catchall:
                         sink(event)
+                    if matched is not None:
+                        for sink in matched:
+                            sink(event)
             for fn in self._counters:
                 fn(SEND, src, mtype)
         return msg_id
@@ -302,19 +350,25 @@ class Tracer:
         if self._live:
             raws = self._deliver_raw
             if raws is not None:
-                for mfilter, sink in raws:
-                    if mfilter is None or mtype in mfilter:
+                for sink in raws[0]:
+                    sink(DELIVER, time, dst, src, mtype, token, message)
+                matched = raws[1].get(mtype)
+                if matched is not None:
+                    for sink in matched:
                         sink(DELIVER, time, dst, src, mtype, token, message)
             subs = self._deliver_subs
             if subs is not None:
-                event = None
-                for mfilter, sink in subs:
-                    if mfilter is None or mtype in mfilter:
-                        if event is None:
-                            event = TraceEvent(
-                                self._total - 1, time, DELIVER, dst, 0, src,
-                                mtype, token, _message_detail(message))
+                catchall = subs[0]
+                matched = subs[1].get(mtype)
+                if catchall or matched:
+                    event = TraceEvent(
+                        self._total - 1, time, DELIVER, dst, 0, src,
+                        mtype, token, _message_detail(message))
+                    for sink in catchall:
                         sink(event)
+                    if matched is not None:
+                        for sink in matched:
+                            sink(event)
             for fn in self._counters:
                 fn(DELIVER, dst, mtype)
 

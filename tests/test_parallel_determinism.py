@@ -1,0 +1,71 @@
+"""Golden-file determinism for the parallel fleet engine.
+
+The parallel engine's whole contract is that the worker count is a pure
+performance knob: the merged trace, telemetry report, and conformance
+report of a partitioned seed-0 run must be byte-identical at every
+worker count — including workers=1, which is pinned here against
+committed goldens so the contract survives refactors.
+
+Regenerate (only for an *intended* behaviour change) with:
+
+    PYTHONPATH=src python -m repro trace shards --workers 1 \\
+        --jsonl tests/golden/shards_par_seed0.trace.jsonl
+    PYTHONPATH=src python -m repro stats shards --workers 1 \\
+        --json tests/golden/shards_par_seed0.stats.json
+    PYTHONPATH=src python -m repro check shards --workers 1 \\
+        --json tests/golden/shards_par_seed0.check.json
+
+Worker counts above 1 must never need a regeneration: if workers=2 or
+workers=4 diverge from the workers=1 golden, the merge (or the domain
+rng decomposition) has a placement leak, not the golden a stale copy.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _golden(kind):
+    return GOLDEN_DIR / ("shards_par_seed0.%s" % kind)
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_trace_matches_golden(workers, tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    exit_code = main(["trace", "shards", "--seed", "0",
+                      "--workers", str(workers), "--jsonl", str(out)])
+    capsys.readouterr()  # swallow the rendered flow diagram
+    assert exit_code == 0
+    assert out.read_bytes() == _golden("trace.jsonl").read_bytes(), \
+        "workers=%d merged trace diverged from the workers=1 golden" \
+        % workers
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_stats_match_golden(workers, tmp_path, capsys):
+    out = tmp_path / "stats.json"
+    exit_code = main(["stats", "shards", "--seed", "0",
+                      "--workers", str(workers), "--json", str(out)])
+    capsys.readouterr()  # swallow the rendered summary
+    assert exit_code == 0
+    assert out.read_bytes() == _golden("stats.json").read_bytes(), \
+        "workers=%d merged telemetry diverged from the workers=1 golden" \
+        % workers
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_parallel_check_matches_golden(workers, tmp_path, capsys):
+    out = tmp_path / "check.json"
+    exit_code = main(["check", "shards", "--seed", "0",
+                      "--workers", str(workers), "--json", str(out)])
+    capsys.readouterr()  # swallow the rendered report
+    assert exit_code == 0
+    assert out.read_bytes() == _golden("check.json").read_bytes(), \
+        "workers=%d conformance report diverged from the workers=1 golden" \
+        % workers
