@@ -1,0 +1,136 @@
+"""E27 — span-derivation overhead: what the lazy span layer costs.
+
+The span layer (``src/repro/obs/``) is pure post-processing: nothing
+runs on the hot path, so a traced run that never asks for spans pays
+exactly the tracer's ring-buffer appends and nothing more.  This
+experiment measures the other half of that cost model — deriving the
+full span report (grouping, critical paths, attribution, time-series)
+from an already-recorded trace, relative to the traced run itself:
+
+* **run ms** — wall-clock of the traced workload alone;
+* **mater ms** — wall-clock of the trace's lazy materialization
+  (tuples -> events + clocks), the price any trace query pays and
+  which ``repro trace`` already charged before this layer existed;
+* **derive ms** — wall-clock of ``SpanBuilder(trace).build()`` plus
+  ``spans_report`` over the materialized trace — what the span layer
+  *adds*;
+* **overhead x** — ``(run + derive) / run``; the gated headline.  The
+  perf gate caps ``*_overhead_x`` keys, so a derivation pass that stops
+  being a cheap single sweep over the trace fails CI.
+
+Wall-clock rates are machine-dependent and recorded, not asserted; the
+gate compares the *ratio*, which largely cancels machine speed.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke mode.
+"""
+
+import os
+import time
+
+from repro.analysis import render_table
+from repro.core import Cluster
+from repro.obs import SpanBuilder, spans_report
+from repro.shard import ShardedCluster
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+#: Timing repetitions per configuration; best round wins.
+ROUNDS = 1 if QUICK else 3
+
+SEED = 7
+
+
+def _drive_multipaxos(cluster):
+    from repro.protocols.multipaxos import run_multipaxos
+    return run_multipaxos(cluster, n_replicas=3, n_clients=2,
+                          commands_per_client=10 if QUICK else 50)
+
+
+def _drive_shards(cluster):
+    sharded = ShardedCluster(n_shards=2, replicas=3, cluster=cluster)
+    keys = [sharded.key(i) for i in range(8 if QUICK else 24)]
+    for key in keys:
+        sharded.put(key, 1)
+    for a, b in zip(keys, keys[1:]):
+        sharded.transfer(a, b, 1)
+    sharded.settle()
+
+
+CONFIGS = [
+    ("multi-paxos", _drive_multipaxos),
+    ("shards", _drive_shards),
+]
+
+
+def measure(driver):
+    """Best-of-ROUNDS traced run + span derivation, timed separately."""
+    best = None
+    for _ in range(ROUNDS):
+        cluster = Cluster(seed=SEED, trace=True)
+        start = time.perf_counter()
+        driver(cluster)
+        run_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        events = cluster.trace.events  # force lazy materialization
+        mater_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        spans = SpanBuilder(cluster.trace).build()
+        report_doc = spans_report(spans, protocol="bench", seed=SEED)
+        derive_wall = time.perf_counter() - start
+        assert report_doc["summary"]["completed"] > 0
+        sample = {
+            "events": len(events),
+            "spans": len(spans),
+            "run": run_wall,
+            "mater": mater_wall,
+            "derive": derive_wall,
+        }
+        if best is None or sample["run"] + sample["derive"] \
+                < best["run"] + best["derive"]:
+            best = sample
+    return best
+
+
+def test_span_derivation_overhead(benchmark, report, bench_snapshot):
+    def run_all():
+        rows = []
+        for protocol, driver in CONFIGS:
+            sample = measure(driver)
+            overhead = (sample["run"] + sample["derive"]) / sample["run"]
+            rows.append({
+                "protocol": protocol,
+                "events": sample["events"],
+                "spans": sample["spans"],
+                "run ms": round(sample["run"] * 1e3, 1),
+                "mater ms": round(sample["mater"] * 1e3, 1),
+                "derive ms": round(sample["derive"] * 1e3, 1),
+                "overhead x": round(overhead, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    text = render_table(
+        rows, title="E27 — span-derivation overhead (lazy, post-run)")
+    text += ("\nbest-of-%d wall-clock per configuration, seed %d.  "
+             "mater = the trace's lazy\nmaterialization (any query "
+             "pays it); derive = SpanBuilder.build() +\nspans_report "
+             "on top; overhead x = (run + derive) / run.  Derivation "
+             "runs\nonly when asked (CLI ``spans``), so the hot path "
+             "pays the tracer's\nring-buffer appends and nothing else."
+             % (ROUNDS, SEED))
+    report("E27_span_overhead", text)
+
+    snapshot = {}
+    for row in rows:
+        key = row["protocol"].replace("-", "")
+        snapshot["%s_trace_events" % key] = row["events"]
+        snapshot["%s_derive_ms" % key] = row["derive ms"]
+        snapshot["%s_overhead_x" % key] = row["overhead x"]
+    bench_snapshot("E27_span_overhead", quick=QUICK, **snapshot)
+
+    for row in rows:
+        assert row["events"] > 0 and row["spans"] > 0
+        # Derivation is one sweep over the trace plus per-span chains —
+        # it must stay cheaper than the simulation that produced it.
+        assert row["overhead x"] < 2.5, row

@@ -444,6 +444,87 @@ def _cmd_check_parallel(args):
     return 0 if report["ok"] else 1
 
 
+def _emit_spans(args, trace, protocol, virtual_time, footer):
+    """Shared spans output path for sequential and parallel runs."""
+    from .obs import (
+        SpanBuilder,
+        render_spans_summary,
+        render_waterfall,
+        spans_report,
+        to_chrome,
+        write_chrome,
+    )
+    from .telemetry import write_report
+    spans = SpanBuilder(trace).build()
+    report = spans_report(spans, protocol=protocol, seed=args.seed,
+                          virtual_time=virtual_time, window=args.window,
+                          slo=args.slo)
+    if args.json:
+        try:
+            write_report(report, args.json)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.json, exc))
+            return 1
+        print("wrote %s (%d span(s))" % (args.json, len(spans)))
+    if args.chrome:
+        try:
+            count = write_chrome(to_chrome(spans, protocol), args.chrome)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.chrome, exc))
+            return 1
+        print("wrote %s (%d trace event(s))" % (args.chrome, count))
+    if args.req is not None:
+        wanted = [s for s in spans if s.req == args.req]
+        if not wanted:
+            print("no span for request %r; known: %s"
+                  % (args.req, ", ".join(s.req for s in spans) or "none"))
+            return 2
+        for span in wanted:
+            print("\n".join(render_waterfall(span)))
+    else:
+        print(render_spans_summary(report))
+        slowest = max((s for s in spans if s.completed),
+                      key=lambda s: (s.latency, s.req), default=None)
+        if slowest is not None:
+            print()
+            print("slowest completed request:")
+            print("\n".join(render_waterfall(slowest)))
+    print(footer)
+    return 0
+
+
+def cmd_spans(args):
+    if args.workers is not None:
+        return _cmd_spans_parallel(args)
+    runner = _RUNNERS.get(args.protocol)
+    if runner is None:
+        print("unknown or non-runnable protocol %r; choices: %s"
+              % (args.protocol, ", ".join(sorted(_RUNNERS))))
+        return 1
+    cluster = Cluster(seed=args.seed, trace=True)
+    summary = runner(cluster)
+    footer = ("%s: %s\nspans: %d trace events | virtual time: %.1f"
+              % (args.protocol, summary, len(cluster.trace), cluster.now))
+    return _emit_spans(args, cluster.trace, args.protocol, cluster.now,
+                       footer)
+
+
+def _cmd_spans_parallel(args):
+    from .parallel import FleetSpec, merge_trace
+    if _reject_non_shards_workers(args):
+        return 2
+    spec = FleetSpec(seed=args.seed, workers=args.workers, trace=True)
+    run, error = _run_parallel_fleet(spec)
+    if error is not None:
+        print("PARALLEL RUN FAILED: %s" % error)
+        return 1
+    trace = merge_trace(run)
+    footer = ("spans: %d trace events | virtual time: %.1f"
+              " | %d worker(s), %d epochs"
+              % (len(trace), run.virtual_time, run.workers, run.epochs))
+    return _emit_spans(args, trace, "shards", run.virtual_time, footer)
+
+
 #: Scenario scale (n, f) per runnable protocol, for ``profile
 #: --monitors``: the battery needs the cluster size the runner actually
 #: drives.  Protocols absent here attach their own monitors (shards) or
@@ -773,6 +854,33 @@ def main(argv=None):
     check_parser.add_argument("--json", metavar="PATH", default=None,
                               help="also export the deterministic JSON "
                                    "conformance report")
+    spans_parser = sub.add_parser(
+        "spans",
+        help="run one protocol with tracing, derive per-request spans "
+             "and print the critical-path latency attribution (optionally "
+             "a single request's waterfall, a deterministic JSON report, "
+             "and a chrome://tracing export)")
+    spans_parser.add_argument("protocol",
+                              help="e.g. multi-paxos, raft, shards")
+    spans_parser.add_argument("--seed", type=int, default=0)
+    spans_parser.add_argument("--req", metavar="ID", default=None,
+                              help="render one request's ASCII waterfall "
+                                   "(e.g. c0-0, or a txn id)")
+    spans_parser.add_argument("--slo", type=float, default=None,
+                              metavar="T",
+                              help="latency objective in virtual-time "
+                                   "units; adds violation counts and a "
+                                   "burn-rate summary")
+    spans_parser.add_argument("--window", type=float, default=None,
+                              metavar="W",
+                              help="time-series window width in virtual "
+                                   "time (default 100)")
+    spans_parser.add_argument("--json", metavar="PATH", default=None,
+                              help="also export the JSON spans report "
+                                   "(same-seed byte-identical)")
+    spans_parser.add_argument("--chrome", metavar="PATH", default=None,
+                              help="also export a chrome://tracing / "
+                                   "Perfetto JSON trace")
     profile_parser = sub.add_parser(
         "profile",
         help="cProfile one protocol run and print the top cumulative "
@@ -834,7 +942,7 @@ def main(argv=None):
                                help="run the fleet on K parallel worker "
                                     "processes (deterministic: identical "
                                     "results at every K)")
-    for extra in (trace_parser, stats_parser, check_parser):
+    for extra in (trace_parser, stats_parser, check_parser, spans_parser):
         extra.add_argument("--workers", type=int, default=None, metavar="K",
                            help="shards only: run the partitioned fleet on "
                                 "K parallel worker processes (merged output "
@@ -858,6 +966,7 @@ def main(argv=None):
         "trace": cmd_trace,
         "stats": cmd_stats,
         "check": cmd_check,
+        "spans": cmd_spans,
         "profile": cmd_profile,
         "kv": cmd_kv,
         "mine": cmd_mine,

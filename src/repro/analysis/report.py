@@ -191,6 +191,16 @@ EXPERIMENT_NOTES = {
             "normalized rate whose decay is barrier + imbalance overhead, and\n"
             "wall time for transparency. The CI perf gate holds both rate\n"
             "families to the recorded trajectory."),
+    "E27": ("Span-derivation overhead: the lazy span layer's price (extension)",
+            "Not a paper figure: src/repro/obs/ derives per-request spans with\n"
+            "critical-path latency attribution purely from the recorded trace,\n"
+            "after the run. This experiment prices that laziness: run wall vs\n"
+            "trace materialization (which any trace query pays) vs the span\n"
+            "derivation proper, with overhead x = (run + derive) / run measured\n"
+            "at ~1.2x and capped by the CI perf gate at 2.5x. A hot path that\n"
+            "never asks for spans pays only the tracer's ring-buffer appends -\n"
+            "span analysis is free until queried, like every observability\n"
+            "layer in this repo."),
     "E20": ("Circumventing FLP (the oracle)",
             "Paper: 'adding oracle (failure detector)'. Measured: Chandra-Toueg\n"
             "rotating-coordinator consensus decides in 12/12 runs with a heartbeat\n"
@@ -229,6 +239,7 @@ EXPERIMENT_BENCHES = {
     "E24": "test_bench_throughput.py",
     "E25": "test_bench_shards.py",
     "E26": "test_bench_parallel.py",
+    "E27": "test_bench_spans.py",
 }
 
 

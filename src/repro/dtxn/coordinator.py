@@ -114,6 +114,7 @@ class TxnCoordinator(Node):
     def submit(self, txn):
         """Start driving ``txn``; progress is visible on ``txn.state``."""
         self._txns[txn.txid] = txn
+        self.trace_local("txn_begin", req=txn.txid, keys=len(txn.keys))
         self._begin_attempt(txn)
         return txn
 
@@ -147,6 +148,8 @@ class TxnCoordinator(Node):
             "waiting": set(commands),
             "replies": {},
         }
+        self.trace_local("txn_round", req=txn.txid, kind=kind,
+                         attempt=txn.attempts)
         self._arm_round_timer(txn)
         for gid, command in commands.items():
             self._send_command(txn.txid, gid, kind, command)
@@ -204,6 +207,7 @@ class TxnCoordinator(Node):
                 or txn.state is TxnState.DONE:
             return  # round closed (e.g. waiting out a retry backoff)
         self.timeout_aborts += 1
+        self.trace_local("txn_timeout", req=txn.txid, kind=round_["kind"])
         self._cancel_pending(txn.txid)
         self._round.pop(txn.txid, None)
         txn.state = TxnState.ABORTING
@@ -236,6 +240,7 @@ class TxnCoordinator(Node):
         round_["replies"][gid] = msg.result
         round_["waiting"].discard(gid)
         if not round_["waiting"]:
+            self.trace_local("txn_round_done", req=txid, kind=kind)
             self._round_complete(self._txns[txid], kind, round_["replies"])
 
     # -- round transitions -------------------------------------------------------------
@@ -298,6 +303,7 @@ class TxnCoordinator(Node):
         txn.state = TxnState.DONE
         txn.finished_at = self.sim.now
         txn.result = dict(txn.reads)
+        self.trace_local("txn_finish", req=txn.txid, outcome=outcome)
         if outcome == "committed":
             self.commits += 1
         else:

@@ -1,0 +1,20 @@
+"""Small filesystem helpers shared by the artifact writers.
+
+Every ``--jsonl/--json/--prom/--chrome`` flag ultimately lands in one of
+the ``write_*`` functions; they all route through :func:`ensure_parent`
+so pointing an export at ``out/run7/trace.jsonl`` creates ``out/run7/``
+instead of raising a bare ``FileNotFoundError``.
+"""
+
+import os
+
+
+def ensure_parent(path):
+    """Create the missing parent directories of ``path``; returns ``path``.
+
+    A bare filename (no directory component) is returned untouched.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return path

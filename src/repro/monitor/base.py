@@ -149,6 +149,15 @@ class Monitor:
         if event is not None:
             node = node or event.node
             time, seq = event.time, event.seq
+            if "span" not in detail:
+                # Link the offending request span, when the event names
+                # one — `repro spans --req <id>` then shows the waterfall
+                # the anomaly happened inside.
+                for key in ("req", "request_id", "txid"):
+                    ref = event.get(key)
+                    if ref is not None:
+                        detail = dict(detail, span=ref)
+                        break
         else:
             time, seq = self._now(), -1
         if self.group is not None:

@@ -17,6 +17,7 @@ import json
 
 from ..analysis.claims import claim_for
 from ..core.cluster import Cluster
+from ..ioutil import ensure_parent
 
 #: Schema tag for the JSON conformance report.
 SCHEMA = "repro.monitor.conformance/1"
@@ -449,7 +450,7 @@ def report_to_json(report):
 
 
 def write_report(report, path):
-    with open(path, "w") as handle:
+    with open(ensure_parent(path), "w") as handle:
         handle.write(report_to_json(report))
     return len(report["monitors"])
 

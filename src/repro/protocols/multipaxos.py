@@ -341,6 +341,10 @@ class MultiPaxosReplica(Node):
     def _propose(self, index, value):
         if self.network.metrics is not None:
             self.network.metrics.mark_phase("multi-paxos", "accept", self.sim.now)
+        if isinstance(value, LogCommand):
+            self.trace_local("propose", index=index, req=value.request_id)
+        else:
+            self.trace_local("propose", index=index)
         self.log[index] = _EntryState(self.ballot_num, value)
         self._pending[index] = {self.name}
         for peer in self.peers:
@@ -365,6 +369,12 @@ class MultiPaxosReplica(Node):
         if not self.quorums.is_phase2_quorum(pending):
             return
         del self._pending[msg.index]
+        value = self.log[msg.index].value
+        if isinstance(value, LogCommand):
+            self.trace_local("commit", index=msg.index,
+                             req=value.request_id)
+        else:
+            self.trace_local("commit", index=msg.index)
         self._commit(msg.index)
         for peer in self.peers:
             if peer != self.name:
@@ -407,7 +417,11 @@ class MultiPaxosReplica(Node):
             command = value.command if isinstance(value, LogCommand) else value
             result = self.state_machine.apply(command)
             self.applied_index = nxt
-            self.trace_local("apply", index=nxt, op=command)
+            if isinstance(value, LogCommand):
+                self.trace_local("apply", index=nxt, op=command,
+                                 req=value.request_id)
+            else:
+                self.trace_local("apply", index=nxt, op=command)
             self.apply_results[nxt] = result
             if isinstance(value, LogCommand):
                 self._applied_requests[value.request_id] = result

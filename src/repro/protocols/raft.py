@@ -332,6 +332,7 @@ class RaftNode(Node):
                                  msg.request_id))
         self.match_index[self.name] = index
         self._client_of[index] = (src, msg.request_id)
+        self.trace_local("propose", index=index, req=msg.request_id)
         if self.network.metrics is not None:
             self.network.metrics.mark_phase("raft", "append", self.sim.now)
         self._broadcast_append()
@@ -430,8 +431,14 @@ class RaftNode(Node):
             count = sum(1 for m in self.match_index.values() if m >= index)
             if count >= self.majority:
                 self.commit_index = index
-                self.trace_local("commit", index=index,
-                                 term=self.current_term)
+                entry = self._entry(index)
+                if entry.request_id is not None:
+                    self.trace_local("commit", index=index,
+                                     term=self.current_term,
+                                     req=entry.request_id)
+                else:
+                    self.trace_local("commit", index=index,
+                                     term=self.current_term)
                 self._apply_ready()
                 break
 
@@ -443,8 +450,12 @@ class RaftNode(Node):
                 self.apply_results[self.last_applied] = None
                 continue
             result = self.state_machine.apply(entry.command)
-            self.trace_local("apply", index=self.last_applied,
-                             op=entry.command)
+            if entry.request_id is not None:
+                self.trace_local("apply", index=self.last_applied,
+                                 op=entry.command, req=entry.request_id)
+            else:
+                self.trace_local("apply", index=self.last_applied,
+                                 op=entry.command)
             self.apply_results[self.last_applied] = result
             if entry.request_id is not None:
                 self._applied_requests[entry.request_id] = result

@@ -12,6 +12,8 @@ file diff-friendly: the perf trajectory future PRs regress against.
 import json
 import pathlib
 
+from ..ioutil import ensure_parent
+
 #: Bench snapshot file name, expected at the repository root.
 BENCH_FILENAME = "BENCH_consensus.json"
 
@@ -54,6 +56,7 @@ def update_bench_snapshot(path, bench_id, payload):
     benches[str(bench_id)] = _clean(dict(payload))
     document = {"schema": SCHEMA, "benches": benches}
     text = json.dumps(document, sort_keys=True, indent=2) + "\n"
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+    with open(ensure_parent(path), "w", encoding="utf-8",
+              newline="\n") as handle:
         handle.write(text)
     return benches

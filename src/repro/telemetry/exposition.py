@@ -8,6 +8,8 @@ in the registry's sorted order and label values are rendered with
 escaping, so two same-seed runs produce byte-identical expositions.
 """
 
+from ..ioutil import ensure_parent
+
 
 def _escape(value):
     return (str(value)
@@ -73,6 +75,7 @@ def to_prometheus(registry):
 def write_prometheus(registry, path):
     """Write the exposition to ``path``; returns the series count."""
     payload = to_prometheus(registry)
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+    with open(ensure_parent(path), "w", encoding="utf-8",
+              newline="\n") as handle:
         handle.write(payload)
     return len(registry)

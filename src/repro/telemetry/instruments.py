@@ -117,8 +117,9 @@ class Histogram:
 
         Linear interpolation inside the containing bucket, the standard
         Prometheus ``histogram_quantile`` estimate.  Returns ``None`` on
-        an empty histogram; the overflow bucket reports its lower bound
-        (there is no upper edge to interpolate toward).
+        an empty histogram; the overflow bucket reports the observed
+        ``max`` (there is no upper edge to interpolate toward, and the
+        maximum is the only finite, report-stable bound for the tail).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1] (got %r)" % (q,))
@@ -130,13 +131,13 @@ class Histogram:
             cumulative += bucket_count
             if cumulative >= rank and bucket_count > 0:
                 if index >= len(self.buckets):  # overflow bucket
-                    return self.buckets[-1]
+                    return self.max
                 lower = self.buckets[index - 1] if index > 0 else 0.0
                 upper = self.buckets[index]
                 into = rank - (cumulative - bucket_count)
                 fraction = into / bucket_count
                 return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
-        return self.buckets[-1]
+        return self.max
 
     def summary(self):
         """Deterministic plain-dict digest used by reports and rendering."""
@@ -149,6 +150,7 @@ class Histogram:
             "p50": _finite(self.quantile(0.50)),
             "p90": _finite(self.quantile(0.90)),
             "p99": _finite(self.quantile(0.99)),
+            "p999": _finite(self.quantile(0.999)),
         }
 
     def __repr__(self):
@@ -239,7 +241,8 @@ class NullHistogram:
 
     def summary(self):
         return {"count": 0, "sum": 0.0, "min": None, "max": None,
-                "mean": None, "p50": None, "p90": None, "p99": None}
+                "mean": None, "p50": None, "p90": None, "p99": None,
+                "p999": None}
 
 
 #: Shared no-op instances — instruments carry no identity, so one of

@@ -7,7 +7,8 @@ families of checks:
 
 * **Throughput regression** — every ``*_events_per_sec`` /
   ``*_msgs_per_sec`` rate in the gated experiments (E23 throughput,
-  E24 monitor overhead, E26 parallel scaling — the latter's
+  E24 monitor overhead, E26 parallel scaling, E27 span-derivation
+  overhead — E26's
   ``fleet_wK_events_per_sec`` critical-path rates plus their
   per-worker-normalized ``fleet_wK_norm_events_per_sec`` twins, so a
   barrier-overhead regression trips the gate even if raw scaling still
@@ -19,8 +20,10 @@ families of checks:
   measurement, while overhead *ratios* stay comparable across modes
   (and across machines, which is why CI can gate them at all).
 * **Observability overhead** — every ``*_overhead_x`` ratio in the
-  current E24 entry must stay at or below ``max_overhead`` (default
-  2.5x): monitoring must remain a streaming pass, not a re-simulation.
+  current E24/E27 entries must stay at or below ``max_overhead``
+  (default 2.5x): monitoring must remain a streaming pass (not a
+  re-simulation), and span derivation (E27) a cheap post-run sweep
+  over the trace — measured at ~1.2x, gated with the same headroom.
   Ring recording alone costs ~1.4x in pure Python and the measured
   batteries land at ~1.4x (multi-paxos) to ~1.9x (pbft, whose quorum
   certificates make it ack-heavy), so the cap gates regressions back
@@ -46,7 +49,7 @@ import sys
 
 #: Experiments whose rates the gate defends.
 GATED_EXPERIMENTS = ("E23_throughput", "E24_monitor_overhead",
-                     "E26_parallel_scaling")
+                     "E26_parallel_scaling", "E27_span_overhead")
 
 #: Rate-key suffixes compared between baseline and current.
 RATE_SUFFIXES = ("_events_per_sec", "_msgs_per_sec")

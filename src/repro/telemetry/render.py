@@ -83,9 +83,11 @@ def render_summary(registry, title=None):
             lines.append("  %s%s" % (name, suffix))
             digest = instrument.summary()
             lines.append(
-                "    count=%s sum=%s mean=%s p50=%s p90=%s p99=%s max=%s"
+                "    count=%s sum=%s mean=%s p50=%s p90=%s p99=%s p999=%s"
+                " max=%s"
                 % tuple(_fmt(digest[key]) for key in
-                        ("count", "sum", "mean", "p50", "p90", "p99", "max"))
+                        ("count", "sum", "mean", "p50", "p90", "p99", "p999",
+                         "max"))
             )
             if instrument.count:
                 lines.extend(render_histogram(instrument))

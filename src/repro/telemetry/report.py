@@ -11,6 +11,7 @@ determinism gate diffs and what a perf-trend dashboard can ingest.
 
 import json
 
+from ..ioutil import ensure_parent
 from .instruments import _finite
 
 
@@ -73,6 +74,7 @@ def report_to_json(report):
 def write_report(report, path):
     """Write the canonical JSON to ``path``; returns the series count."""
     payload = report_to_json(report)
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+    with open(ensure_parent(path), "w", encoding="utf-8",
+              newline="\n") as handle:
         handle.write(payload)
     return len(report.get("series", ()))

@@ -10,6 +10,7 @@ tests assert, and what makes traces diffable artifacts.
 
 import json
 
+from ..ioutil import ensure_parent
 from .events import TraceEvent
 from .trace import Trace
 
@@ -57,7 +58,8 @@ def to_jsonl(trace):
 def write_jsonl(trace, path):
     """Write the trace to ``path``; returns the event count."""
     payload = to_jsonl(trace)
-    with open(path, "w", encoding="utf-8", newline="\n") as handle:
+    with open(ensure_parent(path), "w", encoding="utf-8",
+              newline="\n") as handle:
         handle.write(payload)
     return len(trace)
 

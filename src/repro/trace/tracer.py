@@ -51,7 +51,7 @@ from .trace import Trace
 #: invariants match on.  Values are stringified, so anything with a
 #: deterministic ``str`` works (e.g. :class:`~repro.core.ballot.Ballot`).
 DETAIL_ATTRS = ("ballot", "view", "seq", "round", "height", "term", "index",
-                "digest")
+                "digest", "request_id", "txid")
 
 #: attrs-to-extract per message class, compiled on first instance seen.
 #: Message classes are dataclasses with a fixed field set, so one
