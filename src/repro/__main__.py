@@ -707,6 +707,93 @@ def cmd_sweep(args):
     return 0
 
 
+def _parse_rate_sweep(text):
+    """``A..B`` or ``A..B:N`` -> N (default 5) evenly spaced rates from
+    A to B inclusive, or None when the text does not parse."""
+    text = text.strip()
+    count = 5
+    if ":" in text:
+        text, _, tail = text.rpartition(":")
+        try:
+            count = int(tail)
+        except ValueError:
+            return None
+        if count < 2:
+            return None
+    head, sep, tail = text.partition("..")
+    if not sep:
+        return None
+    try:
+        lo, hi = float(head), float(tail)
+    except ValueError:
+        return None
+    if not 0 < lo < hi:
+        return None
+    step = (hi - lo) / (count - 1)
+    return [round(lo + i * step, 6) for i in range(count)]
+
+
+def cmd_loadtest(args):
+    from .load import (
+        PROTOCOLS,
+        LoadSpec,
+        render_point,
+        render_sweep,
+        run_loadtest,
+        run_sweep,
+    )
+    from .telemetry import write_report
+    if args.protocol not in PROTOCOLS:
+        print("unknown protocol %r; choices: %s"
+              % (args.protocol, ", ".join(sorted(PROTOCOLS))))
+        return 2
+    if args.rate is not None and args.sweep is not None:
+        print("--rate and --sweep are mutually exclusive")
+        return 2
+    rates = None
+    if args.sweep is not None:
+        rates = _parse_rate_sweep(args.sweep)
+        if rates is None:
+            print("bad --sweep %r (use A..B or A..B:N with 0 < A < B, "
+                  "N >= 2)" % (args.sweep,))
+            return 2
+    try:
+        spec = LoadSpec(
+            protocol=args.protocol, rate=args.rate or 1.0,
+            duration=args.duration, seed=args.seed, arrivals=args.arrivals,
+            skew=args.skew, storm=args.storm, slo=args.slo,
+            injectors=args.injectors, monitors=args.monitors)
+    except ValueError as exc:
+        print(exc)
+        return 2
+    if rates is not None:
+        report = run_sweep(spec, rates, workers=args.workers or 1)
+        rendered = render_sweep(report)
+        points = [p for p in report["points"] if p]
+        failed = any(p.get("monitors_ok") is False for p in points) or \
+            any(p.get("consistent") is False for p in points)
+    else:
+        if (args.workers or 1) != 1:
+            print("--workers parallelises sweep points; single-rate runs "
+                  "are one simulation (drop --workers or add --sweep)")
+            return 2
+        report = run_loadtest(spec)
+        rendered = render_point(report)
+        accounting = report["accounting"]
+        failed = bool(accounting.get("slo", {}).get("violations"))
+        failed = failed or not report.get("monitors", {"ok": True})["ok"]
+        failed = failed or report.get("consistent") is False
+    if args.json:
+        try:
+            write_report(report, args.json)
+        except OSError as exc:
+            print("cannot write %s: %s" % (args.json, exc))
+            return 2
+        print("wrote %s" % args.json)
+    print(rendered)
+    return 1 if failed else 0
+
+
 def cmd_shards(args):
     from .core.exceptions import LivenessFailure
     from .shard import ShardedCluster
@@ -947,6 +1034,55 @@ def main(argv=None):
                            help="shards only: run the partitioned fleet on "
                                 "K parallel worker processes (merged output "
                                 "is byte-identical at every K)")
+    load_parser = sub.add_parser(
+        "loadtest",
+        help="open-loop load engine: Poisson/diurnal arrivals with "
+             "Zipfian skew against one protocol, coordinated-omission-"
+             "safe latency accounting, and saturation-knee detection "
+             "over a rate sweep; exits 0 when clean, 1 on an SLO breach "
+             "or monitor anomaly, 2 on usage errors")
+    load_parser.add_argument("protocol",
+                             help="multi-paxos, raft, pbft, or shards")
+    load_parser.add_argument("--rate", type=float, default=None, metavar="R",
+                             help="offered load in requests per virtual "
+                                  "time unit (default 1.0)")
+    load_parser.add_argument("--sweep", default=None, metavar="A..B[:N]",
+                             help="sweep N evenly spaced offered loads "
+                                  "from A to B (default N=5) and detect "
+                                  "the saturation knee")
+    load_parser.add_argument("--duration", type=float, default=200.0,
+                             help="load window in virtual time units "
+                                  "(default 200)")
+    load_parser.add_argument("--seed", type=int, default=0)
+    load_parser.add_argument("--arrivals", default="poisson",
+                             choices=("poisson", "diurnal"),
+                             help="arrival process (default poisson)")
+    load_parser.add_argument("--skew", type=float, default=0.99,
+                             help="Zipf skew s over the key space "
+                                  "(default 0.99; 0 = uniform)")
+    load_parser.add_argument("--storm", action="store_true",
+                             help="hot-key storm: redirect most key "
+                                  "draws to one key for the middle "
+                                  "fifth of the run")
+    load_parser.add_argument("--slo", type=float, default=None, metavar="T",
+                             help="latency objective in virtual time "
+                                  "units; violations (and never-"
+                                  "completed requests) fail the run")
+    load_parser.add_argument("--injectors", type=int, default=4,
+                             help="simulated injector nodes carrying "
+                                  "the aggregate stream (default 4)")
+    load_parser.add_argument("--monitors", action="store_true",
+                             help="run under the protocol's conformance "
+                                  "monitor battery")
+    load_parser.add_argument("--workers", type=int, default=None,
+                             metavar="K",
+                             help="parallel worker processes for sweep "
+                                  "points (reports are byte-identical "
+                                  "at every K)")
+    load_parser.add_argument("--json", metavar="PATH", default=None,
+                             help="also export the deterministic JSON "
+                                  "report (byte-identical across "
+                                  "--workers)")
     sweep_parser = sub.add_parser(
         "sweep",
         help="run one protocol across a seed range on parallel worker "
@@ -972,6 +1108,7 @@ def main(argv=None):
         "mine": cmd_mine,
         "shards": cmd_shards,
         "sweep": cmd_sweep,
+        "loadtest": cmd_loadtest,
     }[args.command]
     return handler(args)
 

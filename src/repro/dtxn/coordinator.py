@@ -62,6 +62,9 @@ class Transaction:
     outcome: str = None  # "committed" | "aborted"
     result: dict = None
     finished_at: float = None
+    #: optional ``callback(txn)`` fired once when the txn reaches DONE;
+    #: lets open-loop load injectors account completions without polling.
+    on_finish: object = None
 
 
 class TxnCoordinator(Node):
@@ -308,6 +311,8 @@ class TxnCoordinator(Node):
             self.commits += 1
         else:
             self.aborts += 1
+        if txn.on_finish is not None:
+            txn.on_finish(txn)
         self._round.pop(txn.txid, None)
         self._disarm_round_timer(txn.txid)
         self._cancel_pending(txn.txid)

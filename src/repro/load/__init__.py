@@ -1,0 +1,40 @@
+"""Open-loop load engine: workloads, arrival processes, SLO accounting.
+
+The package answers the question the observability layers were built
+for: *what does each protocol's tail latency do under offered load?*
+Workload shape (:mod:`~repro.load.workloads`), open-loop arrival
+schedules (:mod:`~repro.load.arrivals`), coordinated-omission-safe
+accounting (:mod:`~repro.load.slo`) and the injector engine
+(:mod:`~repro.load.engine`) compose into ``python -m repro loadtest``.
+"""
+
+from .arrivals import DiurnalArrivals, HotKeyStorm, PoissonArrivals
+from .engine import (
+    PROTOCOLS,
+    LoadSpec,
+    run_loadtest,
+    run_point,
+    run_sweep,
+)
+from .render import render_point, render_sweep
+from .slo import LATENCY_BUCKETS, LatencyAccountant, detect_knee
+from .workloads import OpMix, ZipfKeys, generate_commands
+
+__all__ = [
+    "ZipfKeys",
+    "OpMix",
+    "generate_commands",
+    "PoissonArrivals",
+    "DiurnalArrivals",
+    "HotKeyStorm",
+    "LatencyAccountant",
+    "LATENCY_BUCKETS",
+    "detect_knee",
+    "LoadSpec",
+    "PROTOCOLS",
+    "run_loadtest",
+    "run_point",
+    "run_sweep",
+    "render_point",
+    "render_sweep",
+]

@@ -1,0 +1,120 @@
+"""Open-loop arrival processes.
+
+A closed-loop client waits for each reply before sending the next
+request, so a slow server *slows the clock that generates load* and the
+measured latency silently flatters the system (coordinated omission).
+Real front-ends are open-loop: millions of independent users issue
+requests on their own schedule regardless of how the backend is doing.
+The processes here generate that schedule — a stream of *intended*
+arrival times in virtual time, independent of service behaviour.
+
+* :class:`PoissonArrivals` — memoryless arrivals at a constant rate;
+  the superposition of many thin, independent client streams.
+* :class:`DiurnalArrivals` — a non-homogeneous Poisson process whose
+  rate follows a sinusoidal day/night curve, sampled by Lewis-Shedler
+  thinning against the peak rate.
+* :class:`HotKeyStorm` — a key-sampler wrapper that redirects a
+  fraction of draws to one hot key during a time window, modelling a
+  flash crowd on a single entity.
+
+All draws come from the caller's ``random.Random`` so same-seed streams
+are byte-identical.
+"""
+
+import math
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals at ``rate`` requests per time unit."""
+
+    def __init__(self, rate):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def rate_at(self, now):  # noqa: B027 - uniform interface with DiurnalArrivals
+        """Instantaneous rate (constant for the homogeneous process)."""
+        return self.rate
+
+    def times(self, rng, duration, start=0.0):
+        """Yield strictly increasing arrival times in ``(start, start+duration]``."""
+        now = start
+        end = start + duration
+        while True:
+            now += rng.expovariate(self.rate)
+            if now > end:
+                return
+            yield now
+
+
+class DiurnalArrivals:
+    """Sinusoidal-rate Poisson arrivals (day/night traffic curve).
+
+    Rate at time t is ``rate * (1 + amplitude * sin(2*pi*t/period))``,
+    so the mean offered load stays ``rate`` while instantaneous load
+    swings between ``rate*(1-amplitude)`` and ``rate*(1+amplitude)``.
+    Sampling uses Lewis-Shedler thinning: draw candidates from a
+    homogeneous process at the peak rate and accept each with
+    probability rate(t)/peak.
+    """
+
+    def __init__(self, rate, amplitude=0.6, period=200.0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.rate = rate
+        self.amplitude = amplitude
+        self.period = period
+
+    def rate_at(self, now):
+        """Instantaneous rate of the non-homogeneous process at ``now``."""
+        phase = 2.0 * math.pi * (now / self.period)
+        return self.rate * (1.0 + self.amplitude * math.sin(phase))
+
+    def times(self, rng, duration, start=0.0):
+        """Yield strictly increasing arrival times in ``(start, start+duration]``."""
+        peak = self.rate * (1.0 + self.amplitude)
+        now = start
+        end = start + duration
+        while True:
+            now += rng.expovariate(peak)
+            if now > end:
+                return
+            if rng.random() * peak <= self.rate_at(now):
+                yield now
+
+
+class HotKeyStorm:
+    """Redirect a fraction of key draws to one hot key during a window.
+
+    Wraps any sampler exposing ``sample``/``sample_rank`` (e.g.
+    :class:`~repro.load.workloads.ZipfKeys`).  ``clock`` is a zero-arg
+    callable returning current virtual time — the engine binds it to
+    the simulator so the storm rides the same clock as the arrivals.
+    """
+
+    def __init__(self, keys, clock, start, duration, fraction=0.8, hot_rank=0):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.keys = keys
+        self.clock = clock
+        self.start = start
+        self.end = start + duration
+        self.fraction = fraction
+        self.hot_rank = hot_rank
+
+    def active(self):
+        """Whether the storm window covers the current instant."""
+        now = self.clock()
+        return self.start <= now < self.end
+
+    def sample_rank(self, rng):
+        if self.active() and rng.random() < self.fraction:
+            return self.hot_rank
+        return self.keys.sample_rank(rng)
+
+    def sample(self, rng):
+        return "%s-%d" % (self.keys.prefix, self.sample_rank(rng))

@@ -1,0 +1,570 @@
+"""The open-loop load engine: injectors, per-protocol fleets, sweeps.
+
+Millions of logical clients, each issuing requests on its own schedule,
+superpose into one Poisson stream (the superposition theorem) — so the
+engine never simulates clients individually.  A bounded set of
+*injector* nodes carries the aggregate arrival process split evenly
+between them, keeping the event count O(requests) no matter how large
+the modeled population is.  Each injector draws its arrivals and keys
+from a private :func:`~repro.parallel.streams.named_stream`, so the
+traffic a given injector offers is a pure function of ``(seed, name)``
+— independent of worker count, protocol timing, or the other injectors.
+
+The serving side runs on :class:`~repro.net.delivery.QueuedDelayModel`:
+finite per-replica ingress capacity is what turns offered load into
+queueing delay and gives every protocol a measurable saturation knee —
+the point where the paper's per-request message complexity (O(n)
+leader-based vs O(n²) PBFT broadcast) becomes a latency cliff rather
+than a table entry.
+
+:func:`run_loadtest` drives one offered-load point and returns a
+deterministic report; :func:`run_sweep` fans points out over
+:class:`~repro.parallel.ParallelRunner` workers (byte-identical at any
+worker count, since every point is an independent same-seed run) and
+locates the knee with :func:`~repro.load.slo.detect_knee`.
+"""
+
+from ..core.cluster import Cluster
+from ..core.node import Node
+from ..net.delivery import QueuedDelayModel
+from ..parallel.runner import ParallelRunner
+from ..parallel.streams import named_stream
+from ..sim.process import Process
+from ..telemetry.instruments import _finite
+from .arrivals import DiurnalArrivals, HotKeyStorm, PoissonArrivals
+from .slo import LatencyAccountant, detect_knee
+from .workloads import OpMix, ZipfKeys
+
+#: Protocols the engine can drive, with (replicas, f) scenario scale.
+PROTOCOLS = {
+    "multi-paxos": (3, 1),
+    "raft": (3, 1),
+    "pbft": (4, 1),
+    "shards": (None, None),  # scale comes from LoadSpec.shards/replicas
+}
+
+#: Ring-buffer bound for the tracer under monitors: monitors stream
+#: events live, so verdicts never depend on retention — the bound only
+#: keeps a long load run's memory flat.
+_TRACE_CAPACITY = 4096
+
+
+class LoadSpec:
+    """Plain, picklable description of one load run.
+
+    ``rate`` is the aggregate offered load in requests per virtual time
+    unit; ``clients`` is the modeled logical population (documentation
+    of scale — the arrival process is its superposition, so the number
+    never affects event count).
+    """
+
+    def __init__(self, protocol="multi-paxos", rate=1.0, duration=200.0,
+                 seed=0, arrivals="poisson", skew=0.99, n_keys=100_000,
+                 clients=1_000_000, injectors=4, storm=False,
+                 storm_fraction=0.8, slo=None, window=50.0, monitors=False,
+                 service=0.05, reads=0.5, writes=0.4, increments=0.1,
+                 shards=2, replicas=3, cross_ratio=0.25, key_space=64,
+                 drain=300.0, resend_cap=8):
+        if protocol not in PROTOCOLS:
+            raise ValueError("unknown protocol %r (choices: %s)"
+                             % (protocol, ", ".join(sorted(PROTOCOLS))))
+        if arrivals not in ("poisson", "diurnal"):
+            raise ValueError("arrivals must be 'poisson' or 'diurnal'")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if injectors < 1:
+            raise ValueError("need at least one injector")
+        self.protocol = protocol
+        self.rate = rate
+        self.duration = duration
+        self.seed = seed
+        self.arrivals = arrivals
+        self.skew = skew
+        self.n_keys = n_keys
+        self.clients = clients
+        self.injectors = injectors
+        self.storm = storm
+        self.storm_fraction = storm_fraction
+        self.slo = slo
+        self.window = window
+        self.monitors = monitors
+        self.service = service
+        self.reads = reads
+        self.writes = writes
+        self.increments = increments
+        self.shards = shards
+        self.replicas = replicas
+        self.cross_ratio = cross_ratio
+        self.key_space = key_space
+        self.drain = drain
+        self.resend_cap = resend_cap
+
+    def replace(self, **overrides):
+        """A copy with the given fields replaced."""
+        spec = LoadSpec.__new__(LoadSpec)
+        spec.__dict__.update(self.__dict__)
+        spec.__dict__.update(overrides)
+        return spec
+
+    def describe(self):
+        """Deterministic spec digest embedded in every report."""
+        return {
+            "protocol": self.protocol,
+            "duration": _finite(self.duration),
+            "seed": self.seed,
+            "arrivals": self.arrivals,
+            "skew": _finite(self.skew),
+            "n_keys": self.n_keys,
+            "clients": self.clients,
+            "injectors": self.injectors,
+            "storm": self.storm,
+            "slo": _finite(self.slo),
+            "service": _finite(self.service),
+            "monitors": self.monitors,
+        }
+
+
+def _arrival_process(spec, per_injector_rate):
+    if spec.arrivals == "diurnal":
+        return DiurnalArrivals(per_injector_rate, period=spec.duration / 2.0)
+    return PoissonArrivals(per_injector_rate)
+
+
+class InjectorBase(Node):
+    """One injector node: carries a slice of the aggregate open-loop
+    stream and accounts every request it originates.
+
+    The arrival chain is timer-driven: each firing schedules the next
+    draw from the injector's private arrival process, so the schedule
+    never depends on service behaviour — the open-loop contract.
+    """
+
+    def __init__(self, sim, network, name, targets, spec, accountant,
+                 mix, load_start):
+        super().__init__(sim, network, name)
+        self.targets = list(targets)
+        self.spec = spec
+        self.accountant = accountant
+        self.mix = mix
+        self.rng = named_stream(spec.seed, "loadtest", name)
+        process = _arrival_process(spec, spec.rate / spec.injectors)
+        self._times = process.times(self.rng, spec.duration,
+                                    start=load_start)
+        self.outstanding = {}  # request key -> intended arrival time
+        self.resends = {}
+        self._seq = 0
+
+    def on_start(self):
+        self._schedule_next()
+
+    def _schedule_next(self):
+        arrival = next(self._times, None)
+        if arrival is None:
+            return
+        self.set_timer(max(0.0, arrival - self.sim.now), self._fire, arrival)
+
+    def _fire(self, intended):
+        self.accountant.arrive(intended)
+        self._inject(intended)
+        self._schedule_next()
+
+    def _inject(self, intended):
+        raise NotImplementedError
+
+    def _complete(self, request_key):
+        intended = self.outstanding.pop(request_key, None)
+        if intended is None:
+            return False
+        self.resends.pop(request_key, None)
+        self.accountant.complete(intended, self.sim.now)
+        return True
+
+    def _may_resend(self, request_key):
+        """Redirect-chasing budget: a request past the cap stops being
+        resent (and will be accounted abandoned), so an election storm
+        cannot amplify offered load unboundedly."""
+        count = self.resends.get(request_key, 0)
+        if count >= self.spec.resend_cap:
+            return False
+        self.resends[request_key] = count + 1
+        return True
+
+    def abandon_outstanding(self):
+        """End-of-run accounting for requests that never completed."""
+        for request_key in sorted(self.outstanding):
+            self.accountant.abandon(self.outstanding[request_key])
+        self.outstanding.clear()
+
+
+class PaxosInjector(InjectorBase):
+    """Open-loop injector speaking the Multi-Paxos client protocol."""
+
+    def __init__(self, sim, network, name, targets, spec, accountant,
+                 mix, load_start):
+        super().__init__(sim, network, name, targets, spec, accountant,
+                         mix, load_start)
+        self.target = self.targets[0]
+        self.commands = {}  # request id -> command, for redirect resends
+
+    def _request(self, request_id, command):
+        from ..protocols.multipaxos import ClientRequest
+        return ClientRequest(command, request_id)
+
+    def _inject(self, intended):
+        request_id = "%s-%d" % (self.name, self._seq)
+        self._seq += 1
+        command = self.mix.sample(self.rng)
+        self.outstanding[request_id] = intended
+        self.commands[request_id] = command
+        self.send(self.target, self._request(request_id, command))
+
+    def handle_clientreply(self, msg, src):
+        self.commands.pop(msg.request_id, None)
+        self._complete(msg.request_id)
+
+    def handle_redirect(self, msg, src):
+        if msg.request_id not in self.outstanding:
+            return
+        if msg.leader_hint and msg.leader_hint != src:
+            self.target = msg.leader_hint
+        else:
+            index = self.targets.index(self.target)
+            self.target = self.targets[(index + 1) % len(self.targets)]
+        if self._may_resend(msg.request_id):
+            self.send(self.target,
+                      self._request(msg.request_id,
+                                    self.commands[msg.request_id]))
+
+
+class RaftInjector(PaxosInjector):
+    """Same shape as :class:`PaxosInjector`, speaking Raft's client
+    message types."""
+
+    def _request(self, request_id, command):
+        from ..protocols.raft import RaftClientRequest
+        return RaftClientRequest(command, request_id)
+
+    def handle_raftclientreply(self, msg, src):
+        self._complete(msg.request_id)
+
+    def handle_raftredirect(self, msg, src):
+        self.handle_redirect(msg, src)
+
+
+class PbftInjector(InjectorBase):
+    """Open-loop injector speaking the PBFT client protocol.
+
+    PBFT identifies a request by ``(client, timestamp)``; per-injector
+    sequence numbers as timestamps are globally unique because every
+    reply carries the client name and replicas answer the requesting
+    client only.  A reply is accepted once ``f + 1`` replicas agree on
+    the result.  Replies also carry the view, so the injector tracks
+    the current primary; a request unanswered for ``RETRY`` time units
+    is retransmitted to *all* replicas (the standard PBFT client
+    liveness path — backups relay to the primary or force a view
+    change), bounded by the resend cap."""
+
+    #: Client retransmit interval, matching PbftClient's default.
+    RETRY = 30.0
+
+    def __init__(self, sim, network, name, targets, spec, accountant,
+                 mix, load_start, f):
+        super().__init__(sim, network, name, targets, spec, accountant,
+                         mix, load_start)
+        self.f = f
+        self.view = 0
+        self._replies = {}   # timestamp -> {replica: result}
+        self._requests = {}  # timestamp -> PbftRequest, for retransmits
+
+    @property
+    def _primary(self):
+        return self.targets[self.view % len(self.targets)]
+
+    def _inject(self, intended):
+        from ..protocols.pbft import PbftRequest
+        timestamp = float(self._seq)
+        self._seq += 1
+        operation = self.mix.sample(self.rng)
+        request = PbftRequest(operation, timestamp, self.name, None)
+        self.outstanding[timestamp] = intended
+        self._replies[timestamp] = {}
+        self._requests[timestamp] = request
+        self.send(self._primary, request)
+        self.set_timer(self.RETRY, self._retransmit, timestamp)
+
+    def _retransmit(self, timestamp):
+        if timestamp not in self.outstanding:
+            return
+        if not self._may_resend(timestamp):
+            return
+        self.multicast(self.targets, self._requests[timestamp])
+        self.set_timer(self.RETRY, self._retransmit, timestamp)
+
+    def handle_pbftreply(self, msg, src):
+        if msg.view > self.view:
+            self.view = msg.view
+        replies = self._replies.get(msg.timestamp)
+        if replies is None:
+            return
+        replies[src] = msg.result
+        matching = {}
+        for result in replies.values():
+            key = repr(result)
+            matching[key] = matching.get(key, 0) + 1
+        if max(matching.values()) >= self.f + 1:
+            del self._replies[msg.timestamp]
+            self._requests.pop(msg.timestamp, None)
+            self._complete(msg.timestamp)
+
+
+class ShardTxnInjector(Process):
+    """Open-loop transaction injector for the sharded fleet.
+
+    Not a network node: transactions enter through the fleet's
+    coordinator API and complete via :attr:`Transaction.on_finish`, so
+    the injector only owns the arrival schedule and the accounting.
+    A ``cross_ratio`` fraction of transfers deliberately spans shards,
+    putting the 2PC-over-consensus path under the same open-loop
+    arrivals as the single-shard fast path."""
+
+    def __init__(self, sim, name, sharded, spec, accountant, keys,
+                 load_start):
+        super().__init__(sim, name)
+        self.sharded = sharded
+        self.spec = spec
+        self.accountant = accountant
+        self.keys = keys
+        self.rng = named_stream(spec.seed, "loadtest", name)
+        process = _arrival_process(spec, spec.rate / spec.injectors)
+        self._times = process.times(self.rng, spec.duration,
+                                    start=load_start)
+        self.outstanding = {}  # txid -> intended arrival time
+
+    def on_start(self):
+        self._schedule_next()
+
+    def _schedule_next(self):
+        arrival = next(self._times, None)
+        if arrival is None:
+            return
+        self.set_timer(max(0.0, arrival - self.sim.now), self._fire, arrival)
+
+    def _pick_keys(self):
+        sharded = self.sharded
+        src = sharded.key(self.keys.sample_rank(self.rng)
+                          % self.spec.key_space)
+        want_cross = self.rng.random() < self.spec.cross_ratio
+        dst = src
+        for _ in range(32):
+            candidate = sharded.key(self.rng.randrange(self.spec.key_space))
+            if candidate == src:
+                continue
+            crosses = sharded.shard_of(candidate) != sharded.shard_of(src)
+            if crosses == want_cross:
+                return src, candidate
+            if dst == src:
+                dst = candidate  # fallback: any distinct key
+        return src, dst
+
+    def _fire(self, intended):
+        self.accountant.arrive(intended)
+        src, dst = self._pick_keys()
+        if src == dst:
+            # Degenerate single-key touch (tiny keyspaces only).
+            txn = self.sharded.submit((src,), lambda reads: {})
+        else:
+            def update(reads, src=src, dst=dst):
+                return {src: (reads[src] or 0) - 1,
+                        dst: (reads[dst] or 0) + 1}
+            txn = self.sharded.submit((src, dst), update)
+        self.outstanding[txn.txid] = intended
+        txn.on_finish = self._on_finish
+        self._schedule_next()
+
+    def _on_finish(self, txn):
+        intended = self.outstanding.pop(txn.txid, None)
+        if intended is not None:
+            self.accountant.complete(intended, self.sim.now)
+
+    def abandon_outstanding(self):
+        for txid in sorted(self.outstanding):
+            self.accountant.abandon(self.outstanding[txid])
+        self.outstanding.clear()
+
+
+def _build_core_fleet(cluster, spec):
+    """Replica fleet + injector class for the non-sharded protocols."""
+    if spec.protocol == "multi-paxos":
+        from ..protocols.multipaxos import MultiPaxosReplica
+        names = ["r%d" % i for i in range(3)]
+        cluster.add_nodes(MultiPaxosReplica, names, names)
+        return names, PaxosInjector, (), 10.0
+    if spec.protocol == "raft":
+        from ..protocols.raft import RaftNode
+        names = ["n%d" % i for i in range(3)]
+        cluster.add_nodes(RaftNode, names, names)
+        return names, RaftInjector, (), 30.0
+    if spec.protocol == "pbft":
+        from ..protocols.pbft import PbftReplica
+        f = 1
+        names = ["r%d" % i for i in range(3 * f + 1)]
+        cluster.add_nodes(PbftReplica, names, names, f)
+        return names, PbftInjector, (f,), 10.0
+    raise ValueError("not a core protocol: %r" % (spec.protocol,))
+
+
+def _key_sampler(spec, sim, n_keys, load_start):
+    keys = ZipfKeys(n_keys, spec.skew)
+    if spec.storm:
+        keys = HotKeyStorm(
+            keys, clock=lambda: sim.now,
+            start=load_start + 0.4 * spec.duration,
+            duration=0.2 * spec.duration,
+            fraction=spec.storm_fraction)
+    return keys
+
+
+def _monitor_block(hub):
+    anomalies = hub.finish()
+    return {"monitors": len(hub.monitors),
+            "anomalies": len(anomalies),
+            "ok": not anomalies}
+
+
+def run_loadtest(spec):
+    """Drive one offered-load point; returns a deterministic report.
+
+    Same spec ⇒ byte-identical report: every number is derived from
+    virtual time and seeded draws, never the wall clock."""
+    accountant = LatencyAccountant(window=spec.window, slo=spec.slo)
+    delivery = QueuedDelayModel(service=spec.service)
+    if spec.protocol == "shards":
+        report, hub = _run_shards_point(spec, delivery, accountant)
+    else:
+        report, hub = _run_core_point(spec, delivery, accountant)
+    if hub is not None:
+        report["monitors"] = _monitor_block(hub)
+    return report
+
+
+def _run_core_point(spec, delivery, accountant):
+    from ..monitor import NULL_HUB
+    cluster = Cluster(seed=spec.seed, delivery=delivery,
+                      monitors=spec.monitors,
+                      trace_capacity=_TRACE_CAPACITY if spec.monitors
+                      else None)
+    names, injector_class, extra, settle = _build_core_fleet(cluster, spec)
+    if spec.monitors:
+        cluster.attach_monitors(spec.protocol, len(names),
+                                (len(names) - 1) // 3
+                                if spec.protocol == "pbft"
+                                else (len(names) - 1) // 2)
+    cluster.start_all()
+    cluster.sim.run_for(settle)
+    load_start = cluster.now
+    keys = _key_sampler(spec, cluster.sim, spec.n_keys, load_start)
+    injectors = []
+    for index in range(spec.injectors):
+        mix = OpMix(keys, spec.reads, spec.writes, spec.increments)
+        injector = cluster.add_node(
+            injector_class, "inj%d" % index, names, spec, accountant,
+            mix, load_start, *extra)
+        injectors.append(injector)
+        injector.start()
+    cluster.run(until=load_start + spec.duration)
+    deadline = load_start + spec.duration + spec.drain
+    cluster.run_until(
+        lambda: not any(injector.outstanding for injector in injectors),
+        until=deadline)
+    for injector in injectors:
+        injector.abandon_outstanding()
+    hub = cluster.monitors if cluster.monitors is not NULL_HUB else None
+    return _point_report(spec, accountant, cluster.metrics), hub
+
+
+def _run_shards_point(spec, delivery, accountant):
+    from ..monitor import NULL_HUB
+    from ..shard import ShardedCluster
+    cluster = Cluster(seed=spec.seed, delivery=delivery,
+                      monitors=spec.monitors,
+                      trace_capacity=_TRACE_CAPACITY if spec.monitors
+                      else None)
+    sharded = ShardedCluster(
+        n_shards=spec.shards, replicas=spec.replicas, seed=spec.seed,
+        partitioning="hash", key_space=spec.key_space, cluster=cluster)
+    load_start = sharded.now
+    keys = _key_sampler(spec, cluster.sim, spec.key_space, load_start)
+    injectors = []
+    for index in range(spec.injectors):
+        injector = ShardTxnInjector(
+            cluster.sim, "inj%d" % index, sharded, spec, accountant,
+            keys, load_start)
+        injectors.append(injector)
+        injector.start()
+    cluster.run(until=load_start + spec.duration)
+    deadline = load_start + spec.duration + spec.drain
+    cluster.run_until(
+        lambda: not any(injector.outstanding for injector in injectors),
+        until=deadline)
+    for injector in injectors:
+        injector.abandon_outstanding()
+    report = _point_report(spec, accountant, cluster.metrics)
+    report["consistent"] = sharded.check_consistency()
+    hub = cluster.monitors if cluster.monitors is not NULL_HUB else None
+    return report, hub
+
+
+def _point_report(spec, accountant, metrics):
+    return {
+        "spec": spec.describe(),
+        "rate": _finite(spec.rate),
+        "accounting": accountant.report(spec.duration),
+        "messages": metrics.messages_total,
+    }
+
+
+def _point_summary(report):
+    """The compact per-rate row a sweep keeps (windows dropped)."""
+    accounting = report["accounting"]
+    latency = accounting["latency"]
+    row = {
+        "rate": report["rate"],
+        "offered": accounting["offered"],
+        "completed": accounting["completed"],
+        "abandoned": accounting["abandoned"],
+        "completed_rate": accounting["completed_rate"],
+        "goodput_rate": accounting["goodput_rate"],
+        "p50": latency["p50"],
+        "p99": latency["p99"],
+        "p999": latency["p999"],
+        "messages": report["messages"],
+    }
+    if "slo" in accounting:
+        row["slo_violations"] = accounting["slo"]["violations"]
+    if "monitors" in report:
+        row["monitors_ok"] = report["monitors"]["ok"]
+    if "consistent" in report:
+        row["consistent"] = report["consistent"]
+    return row
+
+
+def run_point(item):
+    """Top-level sweep worker (picklable for the fork pool)."""
+    spec, rate = item
+    return _point_summary(run_loadtest(spec.replace(rate=rate)))
+
+
+def run_sweep(spec, rates, workers=1):
+    """Sweep offered load over ``rates``; returns the knee report.
+
+    Every point is an independent same-seed simulation, so the result
+    is byte-identical at any worker count — the fork pool only changes
+    the wall clock."""
+    rates = sorted(float(rate) for rate in rates)
+    runner = ParallelRunner(workers)
+    points = runner.map(run_point, [(spec, rate) for rate in rates])
+    return {
+        "spec": spec.describe(),
+        "points": points,
+        "knee": _finite(detect_knee(points)),
+    }

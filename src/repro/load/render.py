@@ -1,0 +1,101 @@
+"""ASCII rendering for loadtest reports: tables, curves, the knee."""
+
+
+def _fmt(value, width=8, places=2):
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, bool):
+        return ("yes" if value else "NO").rjust(width)
+    if isinstance(value, int):
+        return ("%d" % value).rjust(width)
+    return ("%.*f" % (places, value)).rjust(width)
+
+
+def _bar(value, peak, width=32):
+    if not value or not peak:
+        return ""
+    return "#" * max(1, int(round(width * min(value, peak) / peak)))
+
+
+def render_point(report):
+    """Render one offered-load point: totals, tail, windowed p99."""
+    spec = report["spec"]
+    accounting = report["accounting"]
+    latency = accounting["latency"]
+    lines = [
+        "loadtest — %s (seed %d, %s arrivals, skew %.2f%s)" % (
+            spec["protocol"], spec["seed"], spec["arrivals"],
+            spec["skew"] or 0.0, ", storm" if spec["storm"] else ""),
+        "offered %.2f req/unit over %.0f units: %d offered, %d completed,"
+        " %d abandoned" % (report["rate"], spec["duration"],
+                           accounting["offered"], accounting["completed"],
+                           accounting["abandoned"]),
+        "latency from intended arrival: p50 %s  p99 %s  p999 %s  max %s"
+        % (_fmt(latency["p50"], 0), _fmt(latency["p99"], 0),
+           _fmt(latency["p999"], 0), _fmt(latency["max"], 0)),
+    ]
+    if "slo" in accounting:
+        slo = accounting["slo"]
+        lines.append("SLO %.1f: %d violation(s) (%.1f%% of offered)"
+                     % (slo["objective"], slo["violations"],
+                        100.0 * (slo["violation_ratio"] or 0.0)))
+    windows = accounting["windows"]
+    if windows:
+        peak = max((w["p99"] or 0.0) for w in windows)
+        lines.append("")
+        lines.append("windowed p99 over virtual time:")
+        for window in windows:
+            lines.append("  t=%6.0f %8s |%s"
+                         % (window["start"], _fmt(window["p99"], 0),
+                            _bar(window["p99"], peak)))
+    if "monitors" in report:
+        monitors = report["monitors"]
+        lines.append("monitors: %d attached, %d anomaly(ies) — %s"
+                     % (monitors["monitors"], monitors["anomalies"],
+                        "green" if monitors["ok"] else "TRIPPED"))
+    if "consistent" in report:
+        lines.append("per-shard consistency: %s" % report["consistent"])
+    return "\n".join(lines)
+
+
+def render_sweep(sweep):
+    """Render a sweep: per-rate table plus throughput/p99 curves."""
+    spec = sweep["spec"]
+    points = [p for p in sweep["points"] if p]
+    lines = [
+        "offered-load sweep — %s (seed %d, %s arrivals)"
+        % (spec["protocol"], spec["seed"], spec["arrivals"]),
+        "%8s %8s %8s %8s %8s %8s %8s %8s" % (
+            "rate", "offered", "done", "aband", "goodput", "p50", "p99",
+            "p999"),
+    ]
+    for point in points:
+        lines.append("%s %s %s %s %s %s %s %s" % (
+            _fmt(point["rate"]), _fmt(point["offered"]),
+            _fmt(point["completed"]), _fmt(point["abandoned"]),
+            _fmt(point["goodput_rate"]), _fmt(point["p50"]),
+            _fmt(point["p99"]), _fmt(point["p999"])))
+    peak_rate = max((p["completed_rate"] or 0.0) for p in points) or None
+    peak_p99 = max((p["p99"] or 0.0) for p in points) or None
+    lines.append("")
+    lines.append("goodput vs offered load (completed/unit):")
+    for point in points:
+        lines.append("  %6.2f |%-32s %s" % (
+            point["rate"], _bar(point["completed_rate"], peak_rate),
+            _fmt(point["completed_rate"], 0)))
+    lines.append("")
+    lines.append("p99 latency vs offered load:")
+    for point in points:
+        marker = " <- knee" if sweep["knee"] == point["rate"] else ""
+        lines.append("  %6.2f |%-32s %s%s" % (
+            point["rate"], _bar(point["p99"], peak_p99),
+            _fmt(point["p99"], 0), marker))
+    lines.append("")
+    if sweep["knee"] is None:
+        lines.append("knee: not reached (sweep never saturates, or "
+                     "saturated from the first point)")
+    else:
+        lines.append("knee: %.2f req/unit — last offered load absorbed "
+                     "without goodput collapse or p99 blow-up"
+                     % sweep["knee"])
+    return "\n".join(lines)

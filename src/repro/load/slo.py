@@ -1,0 +1,143 @@
+"""SLO-grade latency accounting for open-loop load runs.
+
+The accountant measures every request from its *intended* arrival time
+— the instant the open-loop schedule said it should exist — not from
+when an injector got around to sending it.  Under overload the two
+diverge sharply; measuring from send time is the classic coordinated
+omission bug that makes a saturated system look merely busy.  Requests
+that never complete are not dropped from the books either: they count
+against the SLO at the full horizon, so a hung protocol cannot launder
+its tail.
+
+Windowed histograms over virtual time give p50/p99/p999 trajectories
+(the storm/diurnal experiments read these), and :func:`detect_knee`
+finds the saturation knee on a sweep: the highest offered load the
+system absorbs before goodput collapses or the tail blows up.
+"""
+
+from repro.telemetry.instruments import DEFAULT_BUCKETS, Histogram, _finite
+
+#: Latency buckets for load runs: the telemetry defaults plus deeper
+#: overflow bounds — queueing collapse pushes tails far past the
+#: quiescent-run regime and the knee detector needs resolution there.
+LATENCY_BUCKETS = DEFAULT_BUCKETS + (2048.0, 4096.0, 8192.0)
+
+
+class LatencyAccountant:
+    """Coordinated-omission-safe latency and goodput bookkeeping.
+
+    Parameters
+    ----------
+    window:
+        Width of the virtual-time windows for the p50/p99/p999
+        trajectory.
+    slo:
+        Latency objective in virtual-time units; completions slower
+        than this (and requests that never complete) are violations.
+    """
+
+    def __init__(self, window=50.0, slo=None):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.slo = slo
+        self.offered = 0
+        self.completed = 0
+        self.abandoned = 0
+        self.violations = 0
+        self.slow = 0  # completions outside the objective
+        self.latency = Histogram(LATENCY_BUCKETS)
+        self._windows = {}
+
+    def arrive(self, intended):
+        """Record one intended arrival (call before/at injection time)."""
+        self.offered += 1
+
+    def complete(self, intended, finished):
+        """Record a completion; latency runs from the *intended* time."""
+        elapsed = finished - intended
+        if elapsed < 0:
+            raise ValueError("completion precedes intended arrival")
+        self.completed += 1
+        self.latency.observe(elapsed)
+        if self.slo is not None and elapsed > self.slo:
+            self.violations += 1
+            self.slow += 1
+        index = int(intended // self.window)
+        window = self._windows.get(index)
+        if window is None:
+            window = self._windows[index] = Histogram(LATENCY_BUCKETS)
+        window.observe(elapsed)
+
+    def abandon(self, intended):
+        """Record a request that never completed (counts against the SLO)."""
+        self.abandoned += 1
+        if self.slo is not None:
+            self.violations += 1
+
+    def report(self, duration):
+        """Deterministic plain-dict digest over ``duration`` of virtual time."""
+        goodput = self.completed
+        if self.slo is not None:
+            # Goodput = completions inside the objective.  Abandoned
+            # requests already violate the SLO without being completions,
+            # so only *slow completions* are subtracted here.
+            goodput = self.completed - self.slow
+        summary = {
+            "offered": self.offered,
+            "completed": self.completed,
+            "abandoned": self.abandoned,
+            "offered_rate": _finite(self.offered / duration) if duration else None,
+            "completed_rate": _finite(self.completed / duration) if duration else None,
+            "goodput_rate": _finite(goodput / duration) if duration else None,
+            "latency": self.latency.summary(),
+            "windows": [
+                {"start": _finite(index * self.window),
+                 **self._windows[index].summary()}
+                for index in sorted(self._windows)
+            ],
+        }
+        if self.slo is not None:
+            total = self.offered if self.offered else 1
+            summary["slo"] = {
+                "objective": _finite(self.slo),
+                "violations": self.violations,
+                "violation_ratio": _finite(self.violations / total),
+            }
+        return summary
+
+
+def detect_knee(points, goodput_floor=0.9, p99_blowup=3.0):
+    """Find the saturation knee on a sweep of offered-load points.
+
+    ``points`` is a list of dicts with ``rate`` (nominal offered load),
+    ``completed_rate`` and ``p99`` keys — and ideally ``offered`` /
+    ``completed`` counts — in ascending ``rate`` order.  A point is
+    *saturated* once completions fall below ``goodput_floor`` of the
+    requests actually offered (arrivals are Poisson, so the realised
+    offered count is the honest denominator, not the nominal rate), or
+    once p99 exceeds ``p99_blowup`` times the p99 of the lightest-load
+    point.
+
+    Returns the last rate before the first saturated point (the knee),
+    or ``None`` when the sweep never saturates or is saturated from its
+    very first point — either way there is no observed knee.
+    """
+    if not points:
+        return None
+    baseline = points[0].get("p99")
+    knee = None
+    for point in points:
+        offered = point.get("offered")
+        if offered:
+            ratio = (point.get("completed") or 0) / offered
+        else:
+            ratio = (point.get("completed_rate") or 0.0) / point["rate"]
+        saturated = ratio < goodput_floor
+        p99 = point.get("p99")
+        if not saturated and baseline and p99 is not None:
+            saturated = p99 > p99_blowup * baseline
+        if saturated:
+            return knee
+        knee = point["rate"]
+    return None

@@ -1,0 +1,113 @@
+"""Workload generation: key popularity distributions and operation mixes.
+
+The paper's systems serve skewed traffic (hot keys, read-heavy mixes);
+this module produces such workloads deterministically from the
+simulation RNG so experiments remain replayable.
+
+* :class:`ZipfKeys` — Zipf(s)-distributed key popularity over a fixed
+  key space (s=0 is uniform; s≈1 is web-like skew).
+* :class:`OpMix` — read/write/increment mixes over a key sampler.
+* :func:`generate_commands` — a ready command list for any of the
+  library's KV state machines.
+
+Lived at ``repro.workloads`` until the load subsystem arrived; the old
+path re-exports from here with a deprecation warning.
+"""
+
+import bisect
+import itertools
+
+#: Module-level cache of cumulative-weight tables keyed on
+#: ``(n_keys, s)``.  Building the table is O(n_keys); sweep drivers
+#: construct a :class:`ZipfKeys` per run over the same million-key
+#: space, and the distribution depends only on the size and the skew —
+#: not on the name prefix — so every equivalent sampler shares one
+#: immutable tuple.
+_CUMULATIVE_CACHE = {}
+
+
+def _cumulative_weights(n_keys, s):
+    """The shared inverse-CDF table for ``Zipf(s)`` over ``n_keys`` ranks."""
+    table = _CUMULATIVE_CACHE.get((n_keys, s))
+    if table is None:
+        weights = [1.0 / ((rank + 1) ** s) for rank in range(n_keys)]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0  # guard against float drift
+        table = _CUMULATIVE_CACHE[(n_keys, s)] = tuple(cumulative)
+    return table
+
+
+class ZipfKeys:
+    """Zipf-distributed sampler over ``key-0 .. key-(n-1)``.
+
+    P(rank k) ∝ 1 / (k+1)^s.  Sampling is inverse-CDF over precomputed
+    cumulative weights — O(log n) per draw, exact, and driven entirely
+    by the caller's RNG.  The weight table is interned per
+    ``(n_keys, s)`` so repeated construction over a large key space
+    (sweep drivers, per-point load runs) costs a dict hit, not O(n).
+    """
+
+    def __init__(self, n_keys, s=0.99, prefix="key"):
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        if s < 0:
+            raise ValueError("skew must be non-negative")
+        self.n_keys = n_keys
+        self.s = s
+        self.prefix = prefix
+        self._cumulative = _cumulative_weights(n_keys, s)
+
+    def sample_rank(self, rng):
+        """Draw one key *rank* (0 = hottest)."""
+        rank = bisect.bisect_left(self._cumulative, rng.random())
+        return min(rank, self.n_keys - 1)
+
+    def sample(self, rng):
+        """Draw one key name."""
+        return "%s-%d" % (self.prefix, self.sample_rank(rng))
+
+    def probability(self, rank):
+        """Exact P(rank) for analysis/tests."""
+        previous = self._cumulative[rank - 1] if rank else 0.0
+        return self._cumulative[rank] - previous
+
+
+class OpMix:
+    """An operation mix over a key sampler.
+
+    Ratios are (reads, writes, increments); they need not sum to 1 —
+    they're normalised.  Write values are drawn from an itertools
+    counter so every generated write is distinct (handy for staleness
+    probes).
+    """
+
+    def __init__(self, keys, reads=0.5, writes=0.4, increments=0.1):
+        total = reads + writes + increments
+        if total <= 0:
+            raise ValueError("at least one ratio must be positive")
+        self.keys = keys
+        self._read_cut = reads / total
+        self._write_cut = (reads + writes) / total
+        self._values = itertools.count()
+
+    def sample(self, rng):
+        """Draw one command tuple."""
+        key = self.keys.sample(rng)
+        point = rng.random()
+        if point < self._read_cut:
+            return ("get", key)
+        if point < self._write_cut:
+            return ("put", key, next(self._values))
+        return ("incr", key)
+
+
+def generate_commands(rng, count, n_keys=20, skew=0.99, reads=0.5,
+                      writes=0.4, increments=0.1):
+    """Generate ``count`` KV commands with the given shape."""
+    mix = OpMix(ZipfKeys(n_keys, skew), reads, writes, increments)
+    return [mix.sample(rng) for _ in range(count)]

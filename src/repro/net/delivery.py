@@ -76,6 +76,53 @@ class UniformDelayModel(DeliveryModel):
         return self.low + self._span * rng.random()
 
 
+class QueuedDelayModel(UniformDelayModel):
+    """Uniform wire delay plus finite per-destination ingress capacity.
+
+    Every other model here has infinite service capacity: a node can
+    absorb any number of simultaneous messages, so offered load never
+    produces queueing and latency-vs-load curves stay flat.  Real
+    replicas deserialise and process one message at a time; under the
+    paper's complexity tables that per-node ingest cost is exactly what
+    separates O(n) leader-based protocols from O(n²) BFT broadcast at
+    high load.
+
+    This model gives each destination a FIFO ingress server that takes
+    ``service`` time units per message.  A message leaving the wire at
+    ``now + wire`` starts service when the destination's server frees
+    up, whichever is later — the standard M/D/1 shape, so a load sweep
+    produces a genuine saturation knee once arrivals outpace
+    ``1/service`` per destination.
+
+    Drops (if configured) happen on the wire, before the queue.  State
+    is per-instance, so each cluster owns its own queues; determinism
+    is preserved because arrival order at :meth:`delay` is itself
+    deterministic under the seeded simulator.
+    """
+
+    def __init__(self, low=0.5, high=1.5, drop_rate=0.0, service=0.05):
+        super().__init__(low, high, drop_rate)
+        if service <= 0:
+            raise ValueError("service must be positive")
+        self.service = service
+        self._busy = {}  # dst -> virtual time its ingress server frees up
+
+    def delay(self, rng, src, dst, now):
+        wire = super().delay(rng, src, dst, now)
+        if wire is self.DROP:
+            return self.DROP
+        arrival = now + wire
+        start = max(arrival, self._busy.get(dst, 0.0))
+        done = start + self.service
+        self._busy[dst] = done
+        return done - now
+
+    def queue_depth(self, dst, now):
+        """Backlog (in service slots) at ``dst``'s ingress server."""
+        backlog = self._busy.get(dst, 0.0) - now
+        return max(0.0, backlog) / self.service
+
+
 class AsynchronousModel(DeliveryModel):
     """No delay bound: exponential delays with an occasional heavy tail.
 

@@ -8,7 +8,7 @@ families of checks:
 * **Throughput regression** — every ``*_events_per_sec`` /
   ``*_msgs_per_sec`` rate in the gated experiments (E23 throughput,
   E24 monitor overhead, E26 parallel scaling, E27 span-derivation
-  overhead — E26's
+  overhead, E28 load-engine sweep rates — E26's
   ``fleet_wK_events_per_sec`` critical-path rates plus their
   per-worker-normalized ``fleet_wK_norm_events_per_sec`` twins, so a
   barrier-overhead regression trips the gate even if raw scaling still
@@ -49,7 +49,8 @@ import sys
 
 #: Experiments whose rates the gate defends.
 GATED_EXPERIMENTS = ("E23_throughput", "E24_monitor_overhead",
-                     "E26_parallel_scaling", "E27_span_overhead")
+                     "E26_parallel_scaling", "E27_span_overhead",
+                     "E28_load_knee")
 
 #: Rate-key suffixes compared between baseline and current.
 RATE_SUFFIXES = ("_events_per_sec", "_msgs_per_sec")

@@ -1,88 +1,23 @@
-"""Workload generation: key popularity distributions and operation mixes.
+"""Deprecated location — workload generation moved to :mod:`repro.load.workloads`.
 
-The paper's systems serve skewed traffic (hot keys, read-heavy mixes);
-this module produces such workloads deterministically from the
-simulation RNG so experiments remain replayable.
-
-* :class:`ZipfKeys` — Zipf(s)-distributed key popularity over a fixed
-  key space (s=0 is uniform; s≈1 is web-like skew).
-* :class:`OpMix` — read/write/increment mixes over a key sampler.
-* :func:`generate_commands` — a ready command list for any of the
-  library's KV state machines.
+This shim keeps ``from repro.workloads import ZipfKeys`` working for
+existing callers; new code should import from ``repro.load`` (or
+``repro.load.workloads``) where the samplers live next to the arrival
+processes and the open-loop engine that consume them.
 """
 
-import bisect
-import itertools
+import warnings
 
+from repro.load.workloads import (  # noqa: F401
+    OpMix,
+    ZipfKeys,
+    generate_commands,
+)
 
-class ZipfKeys:
-    """Zipf-distributed sampler over ``key-0 .. key-(n-1)``.
+warnings.warn(
+    "repro.workloads moved to repro.load.workloads; update imports",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-    P(rank k) ∝ 1 / (k+1)^s.  Sampling is inverse-CDF over precomputed
-    cumulative weights — O(log n) per draw, exact, and driven entirely
-    by the caller's RNG.
-    """
-
-    def __init__(self, n_keys, s=0.99, prefix="key"):
-        if n_keys < 1:
-            raise ValueError("need at least one key")
-        if s < 0:
-            raise ValueError("skew must be non-negative")
-        self.n_keys = n_keys
-        self.s = s
-        self.prefix = prefix
-        weights = [1.0 / ((rank + 1) ** s) for rank in range(n_keys)]
-        total = sum(weights)
-        cumulative = []
-        running = 0.0
-        for weight in weights:
-            running += weight / total
-            cumulative.append(running)
-        cumulative[-1] = 1.0  # guard against float drift
-        self._cumulative = cumulative
-
-    def sample(self, rng):
-        """Draw one key name."""
-        rank = bisect.bisect_left(self._cumulative, rng.random())
-        return "%s-%d" % (self.prefix, min(rank, self.n_keys - 1))
-
-    def probability(self, rank):
-        """Exact P(rank) for analysis/tests."""
-        previous = self._cumulative[rank - 1] if rank else 0.0
-        return self._cumulative[rank] - previous
-
-
-class OpMix:
-    """An operation mix over a key sampler.
-
-    Ratios are (reads, writes, increments); they need not sum to 1 —
-    they're normalised.  Write values are drawn from an itertools
-    counter so every generated write is distinct (handy for staleness
-    probes).
-    """
-
-    def __init__(self, keys, reads=0.5, writes=0.4, increments=0.1):
-        total = reads + writes + increments
-        if total <= 0:
-            raise ValueError("at least one ratio must be positive")
-        self.keys = keys
-        self._read_cut = reads / total
-        self._write_cut = (reads + writes) / total
-        self._values = itertools.count()
-
-    def sample(self, rng):
-        """Draw one command tuple."""
-        key = self.keys.sample(rng)
-        point = rng.random()
-        if point < self._read_cut:
-            return ("get", key)
-        if point < self._write_cut:
-            return ("put", key, next(self._values))
-        return ("incr", key)
-
-
-def generate_commands(rng, count, n_keys=20, skew=0.99, reads=0.5,
-                      writes=0.4, increments=0.1):
-    """Generate ``count`` KV commands with the given shape."""
-    mix = OpMix(ZipfKeys(n_keys, skew), reads, writes, increments)
-    return [mix.sample(rng) for _ in range(count)]
+__all__ = ["ZipfKeys", "OpMix", "generate_commands"]

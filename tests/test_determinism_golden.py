@@ -57,6 +57,28 @@ def test_stats_match_golden(protocol, tmp_path, capsys):
                                                            golden.name)
 
 
+@pytest.mark.parametrize("workers", (1, 2, 4))
+def test_loadtest_sweep_matches_golden(workers, tmp_path, capsys):
+    """The load engine inherits the determinism contract at every
+    worker count: a seed-0 sweep is byte-identical whether its points
+    run serially or across a fork pool.  Regenerate with
+
+        PYTHONPATH=src python -m repro loadtest multi-paxos \\
+            --sweep 1..8:4 --duration 80 --slo 30 --seed 0 \\
+            --json tests/golden/loadtest_multi-paxos_seed0.sweep.json
+    """
+    out = tmp_path / "sweep.json"
+    exit_code = main(["loadtest", "multi-paxos", "--sweep", "1..8:4",
+                      "--duration", "80", "--slo", "30", "--seed", "0",
+                      "--workers", str(workers), "--json", str(out)])
+    capsys.readouterr()  # swallow the rendered knee curve
+    assert exit_code == 0
+    golden = GOLDEN_DIR / "loadtest_multi-paxos_seed0.sweep.json"
+    assert out.read_bytes() == golden.read_bytes(), \
+        "seed-0 loadtest sweep (workers=%d) diverged from " \
+        "tests/golden/%s" % (workers, golden.name)
+
+
 def test_conformance_report_matches_golden(tmp_path, capsys):
     """The monitor subsystem inherits the determinism contract: a
     same-seed conformance report is byte-identical.  Regenerate with

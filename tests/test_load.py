@@ -1,0 +1,267 @@
+"""Unit tests for the load subsystem's building blocks: arrival
+processes, the hot-key storm, SLO-grade latency accounting, knee
+detection, and the finite-ingress delivery model that makes saturation
+observable."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load import (
+    DiurnalArrivals,
+    HotKeyStorm,
+    LatencyAccountant,
+    PoissonArrivals,
+    ZipfKeys,
+    detect_knee,
+)
+from repro.net.delivery import QueuedDelayModel
+
+# -- arrival processes -------------------------------------------------------
+
+
+class TestPoissonArrivals:
+    def test_same_seed_streams_identical(self):
+        process = PoissonArrivals(2.0)
+        a = list(process.times(random.Random(7), 50.0))
+        b = list(process.times(random.Random(7), 50.0))
+        assert a == b and a
+
+    def test_rate_is_constant(self):
+        process = PoissonArrivals(3.0)
+        assert process.rate_at(0.0) == process.rate_at(1e6) == 3.0
+
+    def test_mean_rate_close_to_nominal(self):
+        process = PoissonArrivals(5.0)
+        count = len(list(process.times(random.Random(1), 2000.0)))
+        assert count == pytest.approx(10000, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestDiurnalArrivals:
+    def test_rate_swings_around_mean(self):
+        process = DiurnalArrivals(4.0, amplitude=0.5, period=100.0)
+        assert process.rate_at(25.0) == pytest.approx(6.0)   # peak
+        assert process.rate_at(75.0) == pytest.approx(2.0)   # trough
+        assert process.rate_at(0.0) == pytest.approx(4.0)
+
+    def test_same_seed_streams_identical(self):
+        process = DiurnalArrivals(2.0, period=40.0)
+        a = list(process.times(random.Random(3), 80.0))
+        b = list(process.times(random.Random(3), 80.0))
+        assert a == b and a
+
+    def test_thinning_tracks_the_curve(self):
+        # More arrivals land in the day half-period than the night one.
+        process = DiurnalArrivals(4.0, amplitude=0.8, period=100.0)
+        times = list(process.times(random.Random(2), 1000.0))
+        day = sum(1 for t in times if (t % 100.0) < 50.0)
+        night = len(times) - day
+        assert day > 1.5 * night
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(0.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(1.0, period=0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rate=st.floats(min_value=0.1, max_value=20.0),
+       duration=st.floats(min_value=1.0, max_value=200.0),
+       start=st.floats(min_value=0.0, max_value=1000.0),
+       seed=st.integers(min_value=0, max_value=2**31))
+def test_poisson_times_strictly_increasing_and_bounded(rate, duration,
+                                                       start, seed):
+    times = list(PoissonArrivals(rate).times(random.Random(seed),
+                                             duration, start=start))
+    assert all(a < b for a, b in zip(times, times[1:]))
+    assert all(start < t <= start + duration for t in times)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rate=st.floats(min_value=0.1, max_value=20.0),
+       amplitude=st.floats(min_value=0.0, max_value=0.95),
+       duration=st.floats(min_value=1.0, max_value=200.0),
+       seed=st.integers(min_value=0, max_value=2**31))
+def test_diurnal_times_strictly_increasing_and_bounded(rate, amplitude,
+                                                       duration, seed):
+    process = DiurnalArrivals(rate, amplitude=amplitude, period=50.0)
+    times = list(process.times(random.Random(seed), duration))
+    assert all(a < b for a, b in zip(times, times[1:]))
+    assert all(0.0 < t <= duration for t in times)
+
+
+class TestHotKeyStorm:
+    def _storm(self, now, fraction=1.0):
+        keys = ZipfKeys(100, s=0.0)
+        return HotKeyStorm(keys, clock=lambda: now[0], start=10.0,
+                           duration=5.0, fraction=fraction, hot_rank=3)
+
+    def test_inactive_outside_window(self):
+        now = [0.0]
+        storm = self._storm(now)
+        assert not storm.active()
+        now[0] = 12.0
+        assert storm.active()
+        now[0] = 15.0  # end is exclusive
+        assert not storm.active()
+
+    def test_full_fraction_pins_the_hot_key(self):
+        now = [12.0]
+        storm = self._storm(now, fraction=1.0)
+        rng = random.Random(0)
+        assert all(storm.sample_rank(rng) == 3 for _ in range(50))
+        assert storm.sample(rng) == "key-3"
+
+    def test_outside_window_delegates(self):
+        now = [0.0]
+        storm = self._storm(now)
+        ranks = {storm.sample_rank(random.Random(i)) for i in range(40)}
+        assert len(ranks) > 5  # uniform draws, not pinned
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._storm([0.0], fraction=0.0)
+
+
+# -- SLO accounting ----------------------------------------------------------
+
+
+class TestLatencyAccountant:
+    def test_counts_and_rates(self):
+        acc = LatencyAccountant(window=10.0)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            acc.arrive(t)
+        acc.complete(1.0, 2.0)
+        acc.complete(2.0, 4.0)
+        acc.abandon(3.0)
+        report = acc.report(duration=20.0)
+        assert report["offered"] == 4
+        assert report["completed"] == 2
+        assert report["abandoned"] == 1
+        assert report["offered_rate"] == pytest.approx(0.2)
+        assert report["completed_rate"] == pytest.approx(0.1)
+        # No SLO: goodput is completion rate, and no slo block appears.
+        assert report["goodput_rate"] == report["completed_rate"]
+        assert "slo" not in report
+
+    def test_latency_runs_from_intended_arrival(self):
+        # The coordinated-omission contract: a request intended at t=0
+        # but finished at t=50 is a 50-unit latency even if the injector
+        # only managed to *send* it at t=49.
+        acc = LatencyAccountant()
+        acc.arrive(0.0)
+        acc.complete(0.0, 50.0)
+        assert acc.latency.summary()["max"] == pytest.approx(50.0)
+
+    def test_completion_before_intended_rejected(self):
+        acc = LatencyAccountant()
+        with pytest.raises(ValueError):
+            acc.complete(10.0, 9.0)
+
+    def test_slo_violations_and_goodput(self):
+        acc = LatencyAccountant(slo=5.0)
+        for t in range(4):
+            acc.arrive(float(t))
+        acc.complete(0.0, 1.0)    # fast: inside the objective
+        acc.complete(1.0, 20.0)   # slow: violation
+        acc.abandon(2.0)          # never completed: violation
+        report = acc.report(duration=10.0)
+        assert report["slo"]["violations"] == 2
+        assert report["slo"]["violation_ratio"] == pytest.approx(0.5)
+        # Goodput counts only completions inside the objective.
+        assert report["goodput_rate"] == pytest.approx(0.1)
+
+    def test_windows_keyed_by_intended_time(self):
+        acc = LatencyAccountant(window=10.0)
+        acc.arrive(5.0)
+        acc.arrive(15.0)
+        acc.complete(5.0, 6.0)
+        acc.complete(15.0, 18.0)
+        windows = acc.report(duration=20.0)["windows"]
+        assert [w["start"] for w in windows] == [0.0, 10.0]
+        assert windows[0]["count"] == windows[1]["count"] == 1
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            LatencyAccountant(window=0.0)
+
+
+class TestDetectKnee:
+    @staticmethod
+    def _point(rate, offered=100, completed=100, p99=2.0):
+        return {"rate": rate, "offered": offered, "completed": completed,
+                "completed_rate": completed / 100.0, "p99": p99}
+
+    def test_empty_and_never_saturated(self):
+        assert detect_knee([]) is None
+        points = [self._point(r) for r in (1.0, 2.0, 4.0)]
+        assert detect_knee(points) is None
+
+    def test_goodput_collapse_marks_the_knee(self):
+        points = [self._point(1.0), self._point(2.0),
+                  self._point(4.0, completed=60)]
+        assert detect_knee(points) == 2.0
+
+    def test_p99_blowup_marks_the_knee(self):
+        points = [self._point(1.0, p99=2.0), self._point(2.0, p99=3.0),
+                  self._point(4.0, p99=10.0)]
+        assert detect_knee(points) == 2.0
+
+    def test_saturated_from_the_first_point_has_no_knee(self):
+        points = [self._point(4.0, completed=10), self._point(8.0)]
+        assert detect_knee(points) is None
+
+    def test_realised_offered_count_is_the_denominator(self):
+        # Poisson variance: only 80 of the nominal 100 requests arrived,
+        # all completed — not saturation.
+        points = [self._point(1.0),
+                  self._point(2.0, offered=80, completed=80)]
+        assert detect_knee(points) is None
+
+
+# -- finite-ingress delivery -------------------------------------------------
+
+
+class TestQueuedDelayModel:
+    def test_backlog_builds_at_one_destination(self):
+        model = QueuedDelayModel(low=1.0, high=1.0, service=0.5)
+        rng = random.Random(0)
+        delays = [model.delay(rng, "src", "dst", 0.0) for _ in range(4)]
+        # Same wire delay, FIFO service: each message waits for the
+        # previous one's service slot.
+        assert delays == [1.5, 2.0, 2.5, 3.0]
+
+    def test_destinations_queue_independently(self):
+        model = QueuedDelayModel(low=1.0, high=1.0, service=0.5)
+        rng = random.Random(0)
+        model.delay(rng, "src", "a", 0.0)
+        assert model.delay(rng, "src", "b", 0.0) == 1.5
+
+    def test_server_idles_between_sparse_arrivals(self):
+        model = QueuedDelayModel(low=1.0, high=1.0, service=0.5)
+        rng = random.Random(0)
+        assert model.delay(rng, "src", "dst", 0.0) == 1.5
+        # Next message arrives long after the server freed up.
+        assert model.delay(rng, "src", "dst", 100.0) == 1.5
+
+    def test_queue_depth(self):
+        model = QueuedDelayModel(low=1.0, high=1.0, service=0.5)
+        rng = random.Random(0)
+        for _ in range(4):
+            model.delay(rng, "src", "dst", 0.0)
+        assert model.queue_depth("dst", 1.0) == pytest.approx(4.0)
+        assert model.queue_depth("dst", 10.0) == 0.0
+        assert model.queue_depth("other", 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueuedDelayModel(service=0.0)

@@ -1,0 +1,136 @@
+"""Engine-level tests for the open-loop load subsystem: end-to-end
+points against real protocol fleets, worker-count byte-identity for
+sweeps, monitor conformance under load, and the loadtest CLI's exit
+codes."""
+
+import json
+
+import pytest
+
+from repro.__main__ import _parse_rate_sweep, main
+from repro.load import LoadSpec, run_loadtest, run_sweep
+
+#: Short but real: long enough for elections + a few dozen requests.
+FAST = dict(rate=1.0, duration=40.0, seed=0)
+
+
+def _sweep_bytes(spec, rates, workers):
+    report = run_sweep(spec, rates, workers=workers)
+    return json.dumps(report, sort_keys=True).encode()
+
+
+class TestRunLoadtest:
+    def test_multi_paxos_point_completes_cleanly(self):
+        report = run_loadtest(LoadSpec(protocol="multi-paxos", **FAST))
+        accounting = report["accounting"]
+        assert accounting["offered"] > 10
+        assert accounting["completed"] == accounting["offered"]
+        assert accounting["abandoned"] == 0
+        assert report["messages"] > accounting["completed"]
+
+    def test_raft_point_completes_cleanly(self):
+        report = run_loadtest(LoadSpec(protocol="raft", **FAST))
+        accounting = report["accounting"]
+        assert accounting["completed"] == accounting["offered"] > 10
+
+    def test_pbft_point_completes_cleanly(self):
+        report = run_loadtest(LoadSpec(protocol="pbft", **FAST))
+        accounting = report["accounting"]
+        assert accounting["completed"] == accounting["offered"] > 10
+
+    def test_same_spec_reports_byte_identical(self):
+        spec = LoadSpec(protocol="multi-paxos", slo=20.0, **FAST)
+        a = json.dumps(run_loadtest(spec), sort_keys=True)
+        b = json.dumps(run_loadtest(spec), sort_keys=True)
+        assert a == b
+
+    def test_monitors_green_below_saturation(self):
+        report = run_loadtest(LoadSpec(protocol="multi-paxos",
+                                       monitors=True, **FAST))
+        assert report["monitors"]["monitors"] > 0
+        assert report["monitors"]["anomalies"] == 0
+        assert report["monitors"]["ok"]
+
+    def test_shards_point_stays_consistent(self):
+        report = run_loadtest(LoadSpec(protocol="shards", rate=0.5,
+                                       duration=40.0, seed=0))
+        assert report["consistent"]
+        assert report["accounting"]["completed"] > 0
+
+    def test_diurnal_storm_point_runs(self):
+        report = run_loadtest(LoadSpec(protocol="multi-paxos",
+                                       arrivals="diurnal", storm=True,
+                                       **FAST))
+        assert report["accounting"]["completed"] > 10
+        assert report["spec"]["storm"] is True
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LoadSpec(protocol="nope")
+        with pytest.raises(ValueError):
+            LoadSpec(arrivals="weekly")
+        with pytest.raises(ValueError):
+            LoadSpec(rate=0.0)
+        with pytest.raises(ValueError):
+            LoadSpec(injectors=0)
+
+
+class TestSweep:
+    def test_workers_do_not_change_the_bytes(self):
+        # The ISSUE's headline determinism claim: a sweep is a set of
+        # independent same-seed simulations, so the fork pool only
+        # changes the wall clock — never the report.
+        spec = LoadSpec(protocol="multi-paxos", duration=30.0, seed=0)
+        rates = (1.0, 2.0)
+        serial = _sweep_bytes(spec, rates, workers=1)
+        forked = _sweep_bytes(spec, rates, workers=2)
+        assert serial == forked
+
+    def test_sweep_orders_rates_and_reports_knee_field(self):
+        spec = LoadSpec(protocol="multi-paxos", duration=30.0, seed=0)
+        report = run_sweep(spec, (2.0, 1.0))
+        assert [p["rate"] for p in report["points"]] == [1.0, 2.0]
+        assert "knee" in report
+
+
+class TestRateSweepParsing:
+    def test_default_and_explicit_counts(self):
+        assert _parse_rate_sweep("1..9") == [1.0, 3.0, 5.0, 7.0, 9.0]
+        assert _parse_rate_sweep("1..8:4") == [1.0, 3.333333, 5.666667, 8.0]
+
+    @pytest.mark.parametrize("text", ["8..1", "0..4", "x..y", "1..8:1",
+                                      "1..8:x", "nope", "-1..4"])
+    def test_rejects_malformed(self, text):
+        assert _parse_rate_sweep(text) is None
+
+
+class TestLoadtestCli:
+    def test_unknown_protocol_exits_2(self, capsys):
+        assert main(["loadtest", "zab"]) == 2
+        assert "unknown protocol" in capsys.readouterr().out
+
+    def test_rate_and_sweep_exclusive(self, capsys):
+        assert main(["loadtest", "multi-paxos", "--rate", "1",
+                     "--sweep", "1..4"]) == 2
+
+    def test_workers_require_a_sweep(self, capsys):
+        assert main(["loadtest", "multi-paxos", "--rate", "1",
+                     "--workers", "2"]) == 2
+
+    def test_bad_sweep_exits_2(self, capsys):
+        assert main(["loadtest", "multi-paxos", "--sweep", "8..1"]) == 2
+
+    def test_clean_point_exits_0(self, capsys, tmp_path):
+        out = tmp_path / "point.json"
+        code = main(["loadtest", "multi-paxos", "--rate", "1",
+                     "--duration", "40", "--slo", "100",
+                     "--json", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["accounting"]["slo"]["violations"] == 0
+
+    def test_slo_breach_exits_1(self, capsys):
+        # An impossible objective: every completion violates it.
+        code = main(["loadtest", "multi-paxos", "--rate", "1",
+                     "--duration", "40", "--slo", "0.001"])
+        assert code == 1

@@ -4,7 +4,12 @@ import random
 
 import pytest
 
-from repro.workloads import OpMix, ZipfKeys, generate_commands
+from repro.load.workloads import (
+    OpMix,
+    ZipfKeys,
+    _cumulative_weights,
+    generate_commands,
+)
 
 
 class TestZipfKeys:
@@ -43,6 +48,39 @@ class TestZipfKeys:
             ZipfKeys(0)
         with pytest.raises(ValueError):
             ZipfKeys(5, s=-1)
+
+    def test_probabilities_sum_to_one(self):
+        for s in (0.0, 0.5, 0.99, 1.2):
+            keys = ZipfKeys(64, s=s)
+            total = sum(keys.probability(rank) for rank in range(64))
+            assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_sample_rank_matches_sample(self):
+        keys = ZipfKeys(16, s=0.9, prefix="obj")
+        rank = keys.sample_rank(random.Random(5))
+        assert keys.sample(random.Random(5)) == "obj-%d" % rank
+
+    def test_cumulative_table_interned_across_prefixes(self):
+        # The weight table depends only on (n_keys, s): equivalent
+        # samplers share one immutable tuple, and construction after
+        # the first is a cache hit rather than an O(n) rebuild.
+        a = ZipfKeys(1000, s=0.99, prefix="key")
+        b = ZipfKeys(1000, s=0.99, prefix="other")
+        assert a._cumulative is b._cumulative
+        assert a._cumulative is _cumulative_weights(1000, 0.99)
+        assert ZipfKeys(1000, s=0.5)._cumulative is not a._cumulative
+
+
+class TestLegacyImportPath:
+    def test_old_module_warns_and_reexports(self):
+        import importlib
+
+        with pytest.warns(DeprecationWarning, match="repro.load.workloads"):
+            import repro.workloads as legacy
+            legacy = importlib.reload(legacy)
+        assert legacy.ZipfKeys is ZipfKeys
+        assert legacy.OpMix is OpMix
+        assert legacy.generate_commands is generate_commands
 
 
 class TestOpMix:
